@@ -1,0 +1,100 @@
+// Package aggregathor is a from-scratch Go reproduction of AGGREGATHOR
+// (Damaskinos et al., SysML 2019): Byzantine-resilient distributed SGD via
+// robust gradient aggregation.
+//
+// The package exposes three layers of API:
+//
+//   - Aggregation rules. Aggregate applies any registered GAR (average,
+//     median, trimmed-mean, krum, multi-krum, bulyan, selective-average) to a
+//     set of worker gradients — the paper's core algorithms, usable
+//     standalone.
+//
+//   - Experiments. Run executes a full synchronous parameter-server training
+//     session with configurable aggregator, optimizer, Byzantine attacks,
+//     lossy links and security mode, returning accuracy/throughput/latency
+//     series against a simulated Grid5000-like cluster clock.
+//
+//   - Distributed mode. TCPTrain runs a real socket-distributed training
+//     session in which the server and workers speak the binary wire protocol
+//     over TCP (see also the lossy UDP endpoints in internal/transport).
+//
+// See README.md for a tour and EXPERIMENTS.md for the paper-figure
+// reproduction index.
+package aggregathor
+
+import (
+	"fmt"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/cluster"
+	"aggregathor/internal/core"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/tensor"
+)
+
+// Config describes one training experiment (mirrors the original runner.py
+// command line). See core.Config for field documentation.
+type Config = core.Config
+
+// Result holds an experiment's metric series.
+type Result = core.Result
+
+// Experiment is a model+dataset preset.
+type Experiment = core.Experiment
+
+// TCPTrainConfig describes a socket-distributed deployment.
+type TCPTrainConfig = cluster.TCPTrainConfig
+
+// Run executes one experiment on the simulated cluster.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// TCPTrain runs a socket-distributed synchronous training session.
+func TCPTrain(cfg TCPTrainConfig) ([]float64, error) {
+	params, err := cluster.TCPTrain(cfg)
+	return params, err
+}
+
+// Experiments lists the built-in model+dataset presets.
+func Experiments() []Experiment { return core.Experiments() }
+
+// Aggregators lists the registered gradient aggregation rules.
+func Aggregators() []string { return gar.Names() }
+
+// Attacks lists the registered Byzantine attacks.
+func Attacks() []string { return attack.Names() }
+
+// Optimizers lists the registered update rules.
+func Optimizers() []string { return opt.Names() }
+
+// Aggregate applies the named GAR with Byzantine tolerance f to the worker
+// gradients and returns the aggregated gradient. Inputs are not mutated.
+//
+// Requirements: multi-krum needs n ≥ 2f+3, bulyan needs n ≥ 4f+3,
+// trimmed-mean needs n ≥ 2f+1; average/median/selective-average ignore f.
+func Aggregate(name string, f int, grads [][]float64) ([]float64, error) {
+	rule, err := gar.New(name, f)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([]tensor.Vector, len(grads))
+	for i, g := range grads {
+		vecs[i] = tensor.Vector(g)
+	}
+	out, err := rule.Aggregate(vecs)
+	if err != nil {
+		return nil, fmt.Errorf("aggregathor: %w", err)
+	}
+	return out, nil
+}
+
+// MultiKrumSelect returns the indexes of the m gradients MULTI-KRUM selects
+// (ascending score order); m = 0 selects the maximal safe n−f−2.
+func MultiKrumSelect(f, m int, grads [][]float64) ([]int, error) {
+	vecs := make([]tensor.Vector, len(grads))
+	for i, g := range grads {
+		vecs[i] = tensor.Vector(g)
+	}
+	mk := &gar.MultiKrum{NumByzantine: f, M: m}
+	return mk.Select(vecs)
+}

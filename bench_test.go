@@ -1,0 +1,516 @@
+// Benchmarks regenerating the paper's tables and figures. Each benchmark
+// exercises the real kernel behind one exhibit and reports the figure's
+// headline quantity via b.ReportMetric; the full row/series generator with
+// paper-style output is cmd/bench (go run ./cmd/bench).
+package aggregathor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/core"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/simnet"
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+func randGrads(seed int64, n, d int) []tensor.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		v := tensor.NewVector(d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// BenchmarkTable1_ModelParams builds the Table-1 CNN and reports its
+// parameter count (paper: ≈1.75M).
+func BenchmarkTable1_ModelParams(b *testing.B) {
+	var params int
+	for i := 0; i < b.N; i++ {
+		n := nn.NewCIFARCNN(rand.New(rand.NewSource(1)))
+		params = n.NumParams()
+	}
+	b.ReportMetric(float64(params), "params")
+}
+
+// fig3Curve executes the Figure-3 configuration for one aggregator. Batch
+// 250 matches Figure 3(a), the paper's headline setting.
+func fig3Curve(b *testing.B, aggregator string, f int) *core.Result {
+	b.Helper()
+	res, err := core.Run(core.Config{
+		Workers: 19, F: f, Aggregator: aggregator,
+		Optimizer: "momentum", LR: 0.1, Batch: 250,
+		Steps: 80, EvalEvery: 2, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// fig3Run returns (simulated seconds to half of vanilla TF's final accuracy
+// — the paper's common target — and this config's final accuracy).
+func fig3Run(b *testing.B, aggregator string, f int) (float64, float64) {
+	b.Helper()
+	tf := fig3Curve(b, "tf", 0)
+	target := tf.AccuracyVsTime.MaxValue() / 2
+	res := fig3Curve(b, aggregator, f)
+	t, ok := res.AccuracyVsTime.TimeToValue(target)
+	if !ok {
+		b.Fatalf("%s never reached TF's half accuracy", aggregator)
+	}
+	return t.Seconds(), res.FinalAccuracy
+}
+
+// BenchmarkFig3_Overhead reproduces the Figure-3 overhead measurement:
+// time to half of final accuracy per aggregator (paper: MULTI-KRUM +19%,
+// BULYAN +43% over vanilla TF).
+func BenchmarkFig3_Overhead(b *testing.B) {
+	configs := []struct {
+		name string
+		f    int
+	}{
+		{"tf", 0}, {"average", 0}, {"median", 0}, {"multi-krum", 4}, {"bulyan", 4}, {"draco", 4},
+	}
+	var baseline float64
+	for _, cfg := range configs {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var tHalf, acc float64
+			for i := 0; i < b.N; i++ {
+				tHalf, acc = fig3Run(b, cfg.name, cfg.f)
+			}
+			if cfg.name == "tf" {
+				baseline = tHalf
+			}
+			b.ReportMetric(tHalf, "sim_s_to_half_acc")
+			b.ReportMetric(acc, "final_accuracy")
+			if baseline > 0 {
+				b.ReportMetric(tHalf/baseline, "slowdown_vs_tf")
+			}
+		})
+	}
+}
+
+// BenchmarkFig4_LatencyBreakdown measures real GAR aggregation time (n=19,
+// d=200k to keep the bench loop sane) and reports the modelled per-epoch
+// aggregation share at full Table-1 scale (paper: median 35%, multi-krum
+// 27%, bulyan 52%).
+func BenchmarkFig4_LatencyBreakdown(b *testing.B) {
+	const n, dBench, dFull = 19, 200_000, 1_756_426
+	for _, cfg := range []struct {
+		name string
+		f    int
+	}{
+		{"median", 0}, {"multi-krum", 4}, {"bulyan", 4},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			rule, err := gar.New(cfg.name, cfg.f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			grads := randGrads(4, n, dBench)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rule.Aggregate(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sim := simnet.Grid5000(n, dFull)
+			sim.AggTime = simnet.ModelAggregation(cfg.name, n, cfg.f, dFull)
+			round := sim.SimulateRound(100)
+			share := round.Aggregate.Seconds() / round.Total().Seconds()
+			b.ReportMetric(share, "aggregation_share")
+		})
+	}
+}
+
+// BenchmarkFig5a_ThroughputCNN reproduces the Figure-5(a) scan: throughput
+// at 18 workers per aggregator on the Table-1 CNN cost profile.
+func BenchmarkFig5a_ThroughputCNN(b *testing.B) {
+	counts := []int{2, 6, 10, 14, 18}
+	for _, cfg := range []struct {
+		name string
+		f    int
+	}{
+		{"average", 0}, {"median", 0},
+		{"multi-krum", 1}, {"multi-krum", 4},
+		{"bulyan", 1}, {"bulyan", 2},
+		{"draco", 1}, {"draco", 4},
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("%s_f%d", cfg.name, cfg.f), func(b *testing.B) {
+			var tp map[int]float64
+			for i := 0; i < b.N; i++ {
+				tp = core.ThroughputScan(cfg.name, cfg.f, counts, 1_756_426, nn.CIFARCNNFlopsPerSample, 100)
+			}
+			b.ReportMetric(tp[18], "batches_per_s_n18")
+			b.ReportMetric(tp[2], "batches_per_s_n2")
+		})
+	}
+}
+
+// BenchmarkFig5b_ThroughputResNet reproduces Figure 5(b): at ResNet50 cost,
+// gradient computation dominates and the GAR curves converge.
+func BenchmarkFig5b_ThroughputResNet(b *testing.B) {
+	counts := []int{2, 6, 10, 14, 18}
+	for _, cfg := range []struct {
+		name string
+		f    int
+	}{
+		{"average", 0}, {"median", 0}, {"multi-krum", 1}, {"bulyan", 1}, {"draco", 1},
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("%s_f%d", cfg.name, cfg.f), func(b *testing.B) {
+			var tp map[int]float64
+			for i := 0; i < b.N; i++ {
+				tp = core.ThroughputScan(cfg.name, cfg.f, counts, nn.ResNet50ParamCount, nn.ResNet50FlopsPerSample, 32)
+			}
+			b.ReportMetric(tp[18], "batches_per_s_n18")
+		})
+	}
+}
+
+// BenchmarkFig6_ImpactOfF reproduces Figure 6: convergence with f=1 vs f=4.
+func BenchmarkFig6_ImpactOfF(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		f    int
+	}{
+		{"multi-krum", 1}, {"multi-krum", 4}, {"bulyan", 1}, {"bulyan", 4},
+	} {
+		cfg := cfg
+		b.Run(fmt.Sprintf("%s_f%d", cfg.name, cfg.f), func(b *testing.B) {
+			var acc, simT float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{
+					Workers: 19, F: cfg.f, Aggregator: cfg.name,
+					Optimizer: "momentum", LR: 0.1, Batch: 32,
+					Steps: 80, EvalEvery: 20, Seed: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy
+				last, _ := res.AccuracyVsTime.Last()
+				simT = last.Time.Seconds()
+			}
+			b.ReportMetric(acc, "final_accuracy")
+			b.ReportMetric(simT, "sim_s_total")
+		})
+	}
+}
+
+// BenchmarkFig7_CorruptedData reproduces Figure 7: one corrupted-data worker
+// under averaging vs AggregaThor(f=1).
+func BenchmarkFig7_CorruptedData(b *testing.B) {
+	for _, cfg := range []struct {
+		label, agg string
+		f          int
+	}{
+		{"tf_averaging", "average", 0},
+		{"aggregathor_f1", "multi-krum", 1},
+	} {
+		cfg := cfg
+		b.Run(cfg.label, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{
+					Workers: 19, F: cfg.f, Aggregator: cfg.agg,
+					Optimizer: "momentum", LR: 0.1, Batch: 32,
+					Steps: 80, EvalEvery: 20, Seed: 6,
+					CorruptData: []int{2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy
+			}
+			b.ReportMetric(acc, "final_accuracy")
+		})
+	}
+}
+
+// BenchmarkFig8a_UDPNoDrop reproduces Figure 8(a): the three §3.3 recoup
+// strategies at 0% artificial drop all behave alike.
+func BenchmarkFig8a_UDPNoDrop(b *testing.B) {
+	for _, cfg := range []struct {
+		label  string
+		agg    string
+		f      int
+		recoup transport.RecoupPolicy
+	}{
+		{"tf_drop_gradient", "average", 0, transport.DropGradient},
+		{"selective_average", "selective-average", 0, transport.FillNaN},
+		{"aggregathor_f8", "multi-krum", 8, transport.FillRandom},
+	} {
+		cfg := cfg
+		b.Run(cfg.label, func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{
+					Workers: 19, F: cfg.f, Aggregator: cfg.agg,
+					Optimizer: "momentum", LR: 0.1, Batch: 32,
+					Steps: 80, EvalEvery: 20, Seed: 7,
+					UDPLinks: 8, DropRate: 0, Recoup: cfg.recoup,
+					Protocol: simnet.UDP,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy
+			}
+			b.ReportMetric(acc, "final_accuracy")
+		})
+	}
+}
+
+// BenchmarkFig8b_UDPDrop10 reproduces Figure 8(b): at a 10% drop rate the
+// lossy UDP clock beats the congestion-collapsed TCP clock (paper: ≥6×
+// faster to 30% accuracy).
+func BenchmarkFig8b_UDPDrop10(b *testing.B) {
+	run := func(proto simnet.Protocol, udpLinks int, recoup transport.RecoupPolicy) *core.Result {
+		res, err := core.Run(core.Config{
+			Workers: 19, F: 8, Aggregator: "multi-krum",
+			Optimizer: "momentum", LR: 0.1, Batch: 32,
+			Steps: 80, EvalEvery: 20, Seed: 8,
+			UDPLinks: udpLinks, DropRate: 0.10, Recoup: recoup,
+			Protocol: proto,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("aggregathor_lossyMPI", func(b *testing.B) {
+		var simT float64
+		for i := 0; i < b.N; i++ {
+			res := run(simnet.UDP, 8, transport.FillRandom)
+			last, _ := res.AccuracyVsTime.Last()
+			simT = last.Time.Seconds()
+		}
+		b.ReportMetric(simT, "sim_s_total")
+	})
+	b.Run("tf_gRPC", func(b *testing.B) {
+		var simT float64
+		for i := 0; i < b.N; i++ {
+			res := run(simnet.TCP, 0, transport.DropGradient)
+			last, _ := res.AccuracyVsTime.Last()
+			simT = last.Time.Seconds()
+		}
+		b.ReportMetric(simT, "sim_s_total")
+	})
+}
+
+// BenchmarkCost_GARComplexity measures the real O(n²d) aggregation kernels
+// across n and d (the §4.2 cost analysis).
+func BenchmarkCost_GARComplexity(b *testing.B) {
+	for _, name := range []string{"average", "median", "multi-krum", "bulyan"} {
+		for _, n := range []int{7, 19} {
+			for _, d := range []int{10_000, 100_000} {
+				name, n, d := name, n, d
+				f := 1
+				if n >= 19 {
+					f = 4
+				}
+				b.Run(fmt.Sprintf("%s/n%d/d%d", name, n, d), func(b *testing.B) {
+					rule, err := gar.New(name, f)
+					if err != nil {
+						b.Fatal(err)
+					}
+					grads := randGrads(9, n, d)
+					b.SetBytes(int64(n * d * 8))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := rule.Aggregate(grads); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkByz_StrongVsWeak quantifies §4.3: the omniscient attack's
+// deviation of the target coordinate under MULTI-KRUM (weak) vs BULYAN
+// (strong).
+func BenchmarkByz_StrongVsWeak(b *testing.B) {
+	n, f, d := 19, 4, 256
+	rng := rand.New(rand.NewSource(9))
+	honest := make([]tensor.Vector, n-f)
+	for i := range honest {
+		v := tensor.NewVector(d)
+		for j := range v {
+			v[j] = 1 + rng.NormFloat64()*0.2
+		}
+		honest[i] = v
+	}
+	ctx := &attack.Context{Honest: honest, N: n, F: f, Dim: d, Rng: rng}
+	forged := attack.Omniscient{TargetCoord: 0}.Forge(ctx)
+	grads := append(append([]tensor.Vector{}, honest...), forged, forged, forged, forged)
+	honestMean := tensor.Mean(honest)
+
+	for _, cfg := range []struct {
+		name string
+		rule gar.GAR
+	}{
+		{"multi-krum", gar.NewMultiKrum(f)},
+		{"bulyan", gar.NewBulyan(f)},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var dev float64
+			for i := 0; i < b.N; i++ {
+				out, err := cfg.rule.Aggregate(grads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev = out[0] - honestMean[0]
+				if dev < 0 {
+					dev = -dev
+				}
+			}
+			b.ReportMetric(dev, "target_coord_deviation")
+		})
+	}
+}
+
+// BenchmarkAblation_BulyanReuse compares the paper's distance-matrix-reuse
+// optimisation against the naive re-distance Bulyan.
+func BenchmarkAblation_BulyanReuse(b *testing.B) {
+	grads := randGrads(10, 19, 50_000)
+	for _, cfg := range []struct {
+		name string
+		rule gar.GAR
+	}{
+		{"optimized", gar.NewBulyan(4)},
+		{"naive", &gar.Bulyan{NumByzantine: 4, Naive: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.rule.Aggregate(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ParallelDistances compares parallel vs sequential
+// pairwise distance computation in MULTI-KRUM.
+func BenchmarkAblation_ParallelDistances(b *testing.B) {
+	grads := randGrads(11, 19, 100_000)
+	for _, cfg := range []struct {
+		name string
+		rule gar.GAR
+	}{
+		{"parallel", gar.NewMultiKrum(4)},
+		{"sequential", &gar.MultiKrum{NumByzantine: 4, Sequential: true}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.rule.Aggregate(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_RecoupPolicy measures the lossy pipe under the three
+// §3.3 recoup policies at 10% drop.
+func BenchmarkAblation_RecoupPolicy(b *testing.B) {
+	for _, policy := range []transport.RecoupPolicy{
+		transport.DropGradient, transport.FillNaN, transport.FillRandom,
+	} {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			pipe := transport.NewLossyPipe(transport.Codec{Float32: true}, transport.DefaultMTU, 0.10, policy, 12)
+			grad := randGrads(13, 1, 100_000)[0]
+			b.SetBytes(int64(len(grad) * 4))
+			delivered := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				msg := &transport.GradientMsg{Worker: 0, Step: i, Grad: grad}
+				if _, ok := pipe.Transfer(msg); ok {
+					delivered++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(delivered)/float64(b.N), "delivery_rate")
+		})
+	}
+}
+
+// BenchmarkAblation_WireFormat compares float32 vs float64 gradient encoding.
+func BenchmarkAblation_WireFormat(b *testing.B) {
+	grad := randGrads(14, 1, 100_000)[0]
+	msg := &transport.GradientMsg{Worker: 0, Step: 0, Grad: grad}
+	for _, cfg := range []struct {
+		name  string
+		codec transport.Codec
+	}{
+		{"float32", transport.Codec{Float32: true}},
+		{"float64", transport.Codec{}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(len(grad) * cfg.codec.BytesPerCoord()))
+			for i := 0; i < b.N; i++ {
+				buf := cfg.codec.EncodeGradient(msg)
+				if _, err := cfg.codec.DecodeGradient(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SelectionSize quantifies the appendix's slowdown claim:
+// convergence goes as O(1/√m), so Krum (m=1) needs more steps than
+// Multi-Krum at the maximal m = n−f−2 to reach the same target. Reported as
+// steps-to-target for each selection size.
+func BenchmarkAblation_SelectionSize(b *testing.B) {
+	// Comparison on the aggregation statistics: the variance of the
+	// aggregate around the honest mean shrinks as 1/m (the O(1/√m)
+	// convergence law in squared form).
+	rng := rand.New(rand.NewSource(14))
+	n, f, d := 19, 4, 512
+	honest := make([]tensor.Vector, n)
+	for i := range honest {
+		v := tensor.NewVector(d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		honest[i] = v
+	}
+	for _, m := range []int{1, 4, 13} {
+		m := m
+		b.Run(fmt.Sprintf("m%d", m), func(b *testing.B) {
+			rule := &gar.MultiKrum{NumByzantine: f, M: m}
+			var variance float64
+			for i := 0; i < b.N; i++ {
+				out, err := rule.Aggregate(honest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				variance = out.SquaredNorm() / float64(d)
+			}
+			b.ReportMetric(variance, "aggregate_variance")
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package aggregathor_test
+
+import (
+	"fmt"
+
+	"aggregathor"
+)
+
+// Aggregating worker gradients with a robust rule: the Byzantine outlier
+// cannot drag the result.
+func ExampleAggregate() {
+	grads := [][]float64{
+		{1.0, 2.0},
+		{1.1, 1.9},
+		{0.9, 2.1},
+		{1.0, 2.0},
+		{0.95, 2.05},
+		{1e9, -1e9}, // Byzantine
+		{1.05, 1.95},
+	}
+	out, err := aggregathor.Aggregate("median", 1, grads)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%.2f %.2f\n", out[0], out[1])
+	// Output: 1.00 2.00
+}
+
+// MULTI-KRUM selection: the m best-scoring gradients, never the far outlier.
+func ExampleMultiKrumSelect() {
+	grads := [][]float64{
+		{1.0}, {1.1}, {0.9}, {1.05}, {0.95}, {1.02}, {50.0},
+	}
+	selected, err := aggregathor.MultiKrumSelect(1, 3, grads)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	outlierPicked := false
+	for _, idx := range selected {
+		if idx == 6 {
+			outlierPicked = true
+		}
+	}
+	fmt.Println(len(selected), outlierPicked)
+	// Output: 3 false
+}

@@ -1,0 +1,64 @@
+// Scaling study: the Figure-5 throughput scan over worker counts and
+// declared f, for both the Table-1 CNN and the ResNet50 cost profiles —
+// including the paper's counter-intuitive result that a *larger* declared f
+// buys higher throughput.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+
+	"aggregathor/internal/core"
+	"aggregathor/internal/nn"
+)
+
+func main() {
+	counts := []int{2, 6, 10, 14, 18}
+	configs := []struct {
+		label, agg string
+		f          int
+	}{
+		{"TF (averaging)", "tf", 0},
+		{"Median", "median", 0},
+		{"Multi-Krum f=1", "multi-krum", 1},
+		{"Multi-Krum f=4", "multi-krum", 4},
+		{"Bulyan f=1", "bulyan", 1},
+		{"Bulyan f=2", "bulyan", 2},
+		{"Draco f=1", "draco", 1},
+		{"Draco f=4", "draco", 4},
+	}
+
+	profiles := []struct {
+		title string
+		dim   int
+		flops float64
+		batch int
+	}{
+		{"CNN (d=1.75M, b=100)", 1_756_426, nn.CIFARCNNFlopsPerSample, 100},
+		{"ResNet50 (d=25.5M, b=32)", nn.ResNet50ParamCount, nn.ResNet50FlopsPerSample, 32},
+	}
+	for _, p := range profiles {
+		fmt.Printf("== throughput scan, %s (batches/sec) ==\n", p.title)
+		fmt.Printf("%-18s", "config")
+		for _, n := range counts {
+			fmt.Printf("%9s", fmt.Sprintf("n=%d", n))
+		}
+		fmt.Println()
+		for _, cfg := range configs {
+			tp := core.ThroughputScan(cfg.agg, cfg.f, counts, p.dim, p.flops, p.batch)
+			fmt.Printf("%-18s", cfg.label)
+			for _, n := range counts {
+				fmt.Printf("%9.2f", tp[n])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("observations (matching the paper):")
+	fmt.Println("  - all TensorFlow-based curves coincide up to ~6 workers, then split;")
+	fmt.Println("  - a larger declared f gives *higher* throughput (fewer Bulyan iterations,")
+	fmt.Println("    fewer Multi-Krum selections to average);")
+	fmt.Println("  - Draco sits an order of magnitude lower and is insensitive to f;")
+	fmt.Println("  - at ResNet50 scale, gradient computation dominates and the gap narrows.")
+}

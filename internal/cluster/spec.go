@@ -1,0 +1,189 @@
+// Package cluster reproduces AggregaThor's deploy/run tooling: cluster
+// specifications (job → task addresses, the runner.py --server JSON),
+// policy-based device selection, and a real TCP-distributed training driver
+// in which the parameter server and every worker speak the transport wire
+// protocol over sockets (the "Distributed deployment" path of the artifact
+// appendix).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Canonical job names from the paper's execution graph (Figure 2).
+const (
+	JobPS      = "ps"
+	JobWorkers = "workers"
+	JobEval    = "eval"
+)
+
+// Spec maps job names to task addresses, mirroring
+// --server '{"local": ["127.0.0.1:7000"]}'.
+type Spec struct {
+	Jobs map[string][]string
+}
+
+// ParseSpec decodes the runner-style JSON cluster description.
+func ParseSpec(raw string) (*Spec, error) {
+	var jobs map[string][]string
+	if err := json.Unmarshal([]byte(raw), &jobs); err != nil {
+		return nil, fmt.Errorf("cluster: parsing spec: %w", err)
+	}
+	s := &Spec{Jobs: jobs}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Validate checks the spec is non-empty with unique, non-empty addresses.
+func (s *Spec) Validate() error {
+	if len(s.Jobs) == 0 {
+		return fmt.Errorf("cluster: empty spec")
+	}
+	seen := map[string]string{}
+	for job, tasks := range s.Jobs {
+		if job == "" {
+			return fmt.Errorf("cluster: empty job name")
+		}
+		if len(tasks) == 0 {
+			return fmt.Errorf("cluster: job %q has no tasks", job)
+		}
+		for i, addr := range tasks {
+			if addr == "" {
+				return fmt.Errorf("cluster: job %q task %d has empty address", job, i)
+			}
+			if prev, dup := seen[addr]; dup {
+				return fmt.Errorf("cluster: address %q used by both %q and %q", addr, prev, job)
+			}
+			seen[addr] = job
+		}
+	}
+	return nil
+}
+
+// Tasks returns the addresses of a job (nil if absent).
+func (s *Spec) Tasks(job string) []string { return s.Jobs[job] }
+
+// JobNames returns the sorted job names.
+func (s *Spec) JobNames() []string {
+	names := make([]string, 0, len(s.Jobs))
+	for j := range s.Jobs {
+		names = append(names, j)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DeviceKind distinguishes accelerator classes for placement policies.
+type DeviceKind int
+
+const (
+	// CPU is a general-purpose device.
+	CPU DeviceKind = iota
+	// GPU is an accelerator device.
+	GPU
+)
+
+// Device is one schedulable compute device in the cluster.
+type Device struct {
+	Job  string
+	Task int
+	Kind DeviceKind
+}
+
+// String renders the TensorFlow-style device path.
+func (d Device) String() string {
+	kind := "cpu"
+	if d.Kind == GPU {
+		kind = "gpu"
+	}
+	return fmt.Sprintf("/job:%s/task:%d/device:%s", d.Job, d.Task, kind)
+}
+
+// PlacementPolicy assigns operations to devices — the paper's "automatic,
+// policy-based device selection and cluster-wide allocation".
+type PlacementPolicy interface {
+	// Name identifies the policy.
+	Name() string
+	// Assign picks a device for the op from the candidate list, which is
+	// guaranteed non-empty.
+	Assign(op string, candidates []Device) Device
+}
+
+// RoundRobin cycles through candidates in order, spreading ops evenly.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements PlacementPolicy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Assign implements PlacementPolicy.
+func (r *RoundRobin) Assign(op string, candidates []Device) Device {
+	d := candidates[r.next%len(candidates)]
+	r.next++
+	return d
+}
+
+// PreferGPU picks the first GPU candidate, falling back to the first CPU —
+// the default policy for gradient computation ops.
+type PreferGPU struct{}
+
+// Name implements PlacementPolicy.
+func (PreferGPU) Name() string { return "prefer-gpu" }
+
+// Assign implements PlacementPolicy.
+func (PreferGPU) Assign(op string, candidates []Device) Device {
+	for _, d := range candidates {
+		if d.Kind == GPU {
+			return d
+		}
+	}
+	return candidates[0]
+}
+
+// Allocation maps operation names to devices for one training graph.
+type Allocation map[string]Device
+
+// Allocate places the standard synchronous-training ops (Figure 2): model
+// variables and aggregation on the ps job, per-worker inference/gradient
+// ops on the workers job, accuracy on the eval job.
+func Allocate(spec *Spec, policy PlacementPolicy, workers int, gpus map[string][]bool) (Allocation, error) {
+	psTasks := spec.Tasks(JobPS)
+	wkTasks := spec.Tasks(JobWorkers)
+	evTasks := spec.Tasks(JobEval)
+	if psTasks == nil || wkTasks == nil {
+		return nil, fmt.Errorf("cluster: spec must define %q and %q jobs (have %v)", JobPS, JobWorkers, spec.JobNames())
+	}
+	evJob := JobEval
+	if evTasks == nil {
+		evTasks = psTasks // evaluation co-located with the server
+		evJob = JobPS
+	}
+	devices := func(job string, tasks []string) []Device {
+		out := make([]Device, 0, len(tasks))
+		for i := range tasks {
+			kind := CPU
+			if flags := gpus[job]; i < len(flags) && flags[i] {
+				kind = GPU
+			}
+			out = append(out, Device{Job: job, Task: i, Kind: kind})
+		}
+		return out
+	}
+	alloc := Allocation{}
+	psDevs := devices(JobPS, psTasks)
+	alloc["variables"] = psDevs[0]
+	alloc["aggregation"] = psDevs[0]
+	alloc["apply_gradient"] = psDevs[0]
+	wkDevs := devices(JobWorkers, wkTasks)
+	for w := 0; w < workers; w++ {
+		alloc[fmt.Sprintf("worker_%d/gradient", w)] = policy.Assign("gradient", wkDevs)
+	}
+	evDevs := devices(evJob, evTasks)
+	alloc["accuracy"] = evDevs[0]
+	return alloc, nil
+}

@@ -1,0 +1,58 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggregathor/internal/tensor"
+)
+
+// PartitionSampler gives each worker a disjoint shard of the training set
+// and samples uniformly within it — the privacy-motivated deployment from
+// the paper's introduction ("workers could be user machines keeping their
+// data locally"). Shards are strided so class balance is preserved when the
+// parent dataset is shuffled. Because every shard is drawn from the same
+// distribution, the IID assumption of the convergence analysis still holds,
+// while no two workers ever touch the same sample — the setting Draco's
+// shared-batch requirement cannot serve.
+type PartitionSampler struct {
+	ds      *Dataset
+	indexes []int
+	rng     *rand.Rand
+}
+
+// NewPartitionSampler shards ds across numWorkers and returns the sampler
+// for worker id (0-based). It panics on an invalid id or on more workers
+// than samples.
+func NewPartitionSampler(ds *Dataset, worker, numWorkers int, seed int64) *PartitionSampler {
+	if numWorkers <= 0 || worker < 0 || worker >= numWorkers {
+		panic(fmt.Sprintf("data: partition worker %d of %d", worker, numWorkers))
+	}
+	if ds.Len() < numWorkers {
+		panic(fmt.Sprintf("data: %d samples cannot shard across %d workers", ds.Len(), numWorkers))
+	}
+	var idx []int
+	for i := worker; i < ds.Len(); i += numWorkers {
+		idx = append(idx, i)
+	}
+	return &PartitionSampler{
+		ds:      ds,
+		indexes: idx,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ShardSize returns the number of samples in this worker's shard.
+func (p *PartitionSampler) ShardSize() int { return len(p.indexes) }
+
+// Sample implements Sampler: uniform draws with replacement from the shard.
+func (p *PartitionSampler) Sample(batch int) (*tensor.Matrix, []int) {
+	if batch <= 0 {
+		panic(fmt.Sprintf("data: batch size %d", batch))
+	}
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = p.indexes[p.rng.Intn(len(p.indexes))]
+	}
+	return p.ds.Batch(idx)
+}

@@ -1,0 +1,81 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestPartitionShardsDisjointAndCovering(t *testing.T) {
+	ds := SyntheticFeatures(103, 4, 4, 80) // deliberately not divisible
+	const workers = 5
+	seen := map[int]int{} // sample row (by a distinguishing feature) -> worker
+	total := 0
+	for w := 0; w < workers; w++ {
+		p := NewPartitionSampler(ds, w, workers, int64(w))
+		total += p.ShardSize()
+		for _, idx := range p.indexes {
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("sample %d in shards of both %d and %d", idx, prev, w)
+			}
+			seen[idx] = w
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("shards cover %d of %d samples", total, ds.Len())
+	}
+}
+
+func TestPartitionSamplesOnlyOwnShard(t *testing.T) {
+	ds := SyntheticFeatures(40, 3, 2, 81)
+	p := NewPartitionSampler(ds, 1, 4, 1)
+	own := map[float64]bool{}
+	for _, idx := range p.indexes {
+		own[ds.X.At(idx, 0)] = true
+	}
+	for i := 0; i < 20; i++ {
+		x, _ := p.Sample(8)
+		for r := 0; r < x.Rows; r++ {
+			if !own[x.At(r, 0)] {
+				t.Fatal("sample drawn from another worker's shard")
+			}
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	ds := SyntheticFeatures(10, 2, 2, 82)
+	for _, tc := range []struct{ w, n int }{{-1, 3}, {3, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("worker=%d n=%d accepted", tc.w, tc.n)
+				}
+			}()
+			NewPartitionSampler(ds, tc.w, tc.n, 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("more workers than samples accepted")
+			}
+		}()
+		NewPartitionSampler(ds, 0, 11, 1)
+	}()
+}
+
+func TestPartitionShardBalance(t *testing.T) {
+	ds := SyntheticFeatures(100, 2, 4, 83)
+	small, large := 1<<31, 0
+	for w := 0; w < 4; w++ {
+		s := NewPartitionSampler(ds, w, 4, 1).ShardSize()
+		if s < small {
+			small = s
+		}
+		if s > large {
+			large = s
+		}
+	}
+	if large-small > 1 {
+		t.Fatalf("shard imbalance: %d vs %d", small, large)
+	}
+}

@@ -1,0 +1,32 @@
+package data
+
+import (
+	"math/rand"
+
+	"aggregathor/internal/tensor"
+)
+
+// SharedBatch serves identical, deterministic mini-batches to every member
+// of a Draco redundancy group: the batch for (group, step, seed) is a pure
+// function of those values. This is exactly the "agreement on the ordering
+// of the dataset" requirement that lets Draco's majority vote compare
+// gradients bit-for-bit — and that the paper criticises as incompatible with
+// private data.
+type SharedBatch struct {
+	DS *Dataset
+}
+
+// GroupBatch implements the ps.DracoDataset contract.
+func (s SharedBatch) GroupBatch(group, step, batch int, seed int64) (*tensor.Matrix, []int) {
+	// Mix the coordinates into one seed; SplitMix-style constants keep
+	// adjacent (group, step) pairs uncorrelated.
+	mixed := uint64(seed)
+	mixed = mixed*0x9E3779B97F4A7C15 + uint64(group)
+	mixed = mixed*0xBF58476D1CE4E5B9 + uint64(step)
+	rng := rand.New(rand.NewSource(int64(mixed)))
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = rng.Intn(s.DS.Len())
+	}
+	return s.DS.Batch(idx)
+}

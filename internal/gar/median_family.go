@@ -1,0 +1,185 @@
+package gar
+
+import (
+	"fmt"
+	"math"
+
+	"aggregathor/internal/tensor"
+)
+
+// GeoMedian approximates the geometric median (the minimiser of the sum of
+// Euclidean distances) with Weiszfeld iterations — the high-dimensional
+// median underlying several of the related-work rules (Xie et al. 2018's
+// geometric-median variant). It is weakly Byzantine-resilient for f < n/2.
+//
+// Gradients with non-finite coordinates are excluded before iterating (their
+// distance is +Inf, so they carry no pull anyway but would poison the
+// arithmetic).
+type GeoMedian struct {
+	// NumByzantine is the declared tolerance f (< n/2).
+	NumByzantine int
+	// MaxIter bounds the Weiszfeld iterations; 0 means 50.
+	MaxIter int
+	// Tol is the convergence threshold on iterate movement; 0 means 1e-9.
+	Tol float64
+}
+
+// NewGeoMedian returns a geometric-median rule tolerating f Byzantine
+// workers.
+func NewGeoMedian(f int) *GeoMedian { return &GeoMedian{NumByzantine: f} }
+
+// Name implements GAR.
+func (g *GeoMedian) Name() string { return "geometric-median" }
+
+// F implements ByzantineInfo.
+func (g *GeoMedian) F() int { return g.NumByzantine }
+
+// MinWorkers implements ByzantineInfo: n ≥ 2f+1.
+func (g *GeoMedian) MinWorkers() int { return 2*g.NumByzantine + 1 }
+
+// Aggregate implements GAR.
+func (g *GeoMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUniform(grads); err != nil {
+		return nil, err
+	}
+	if len(grads) < g.MinWorkers() {
+		return nil, fmt.Errorf("%w: geometric-median(f=%d) needs n >= %d, got %d",
+			ErrTooFewWorkers, g.NumByzantine, g.MinWorkers(), len(grads))
+	}
+	finite := make([]tensor.Vector, 0, len(grads))
+	for _, v := range grads {
+		if v.IsFinite() {
+			finite = append(finite, v)
+		}
+	}
+	if len(finite) == 0 {
+		// Every vector is poisoned; a null update is the only safe
+		// total answer.
+		return tensor.NewVector(grads[0].Dim()), nil
+	}
+	maxIter := g.MaxIter
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	tol := g.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	y := tensor.Mean(finite)
+	next := tensor.NewVector(y.Dim())
+	for iter := 0; iter < maxIter; iter++ {
+		next.Zero()
+		var wsum float64
+		for _, x := range finite {
+			d := tensor.Distance(x, y)
+			if d < 1e-12 {
+				// The iterate sits on a data point; Weiszfeld is
+				// singular here and the point is already (near-)
+				// optimal for our purposes.
+				return x.Clone(), nil
+			}
+			w := 1 / d
+			next.Axpy(w, x)
+			wsum += w
+		}
+		next.Scale(1 / wsum)
+		moved := tensor.Distance(next, y)
+		y, next = next, y
+		if moved < tol {
+			break
+		}
+	}
+	return y.Clone(), nil
+}
+
+// MeanAroundMedian is the "mean-around-median" rule of Xie et al. 2018: per
+// coordinate, average the n−f values closest to the coordinate median.
+// Weakly Byzantine-resilient for 2f < n.
+type MeanAroundMedian struct {
+	// NumByzantine is the declared tolerance f.
+	NumByzantine int
+}
+
+// NewMeanAroundMedian returns the rule with tolerance f.
+func NewMeanAroundMedian(f int) *MeanAroundMedian {
+	return &MeanAroundMedian{NumByzantine: f}
+}
+
+// Name implements GAR.
+func (m *MeanAroundMedian) Name() string { return "mean-around-median" }
+
+// F implements ByzantineInfo.
+func (m *MeanAroundMedian) F() int { return m.NumByzantine }
+
+// MinWorkers implements ByzantineInfo: n ≥ 2f+1.
+func (m *MeanAroundMedian) MinWorkers() int { return 2*m.NumByzantine + 1 }
+
+// Aggregate implements GAR.
+func (m *MeanAroundMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUniform(grads); err != nil {
+		return nil, err
+	}
+	n := len(grads)
+	if n < m.MinWorkers() {
+		return nil, fmt.Errorf("%w: mean-around-median(f=%d) needs n >= %d, got %d",
+			ErrTooFewWorkers, m.NumByzantine, m.MinWorkers(), n)
+	}
+	keep := n - m.NumByzantine
+	d := grads[0].Dim()
+	out := tensor.NewVector(d)
+	col := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i, g := range grads {
+			col[i] = g[j]
+		}
+		med := tensor.Median(col)
+		if math.IsNaN(med) {
+			out[j] = 0
+			continue
+		}
+		closest := tensor.ClosestToPivot(col, med, keep)
+		var s float64
+		var cnt int
+		for _, idx := range closest {
+			if !math.IsNaN(col[idx]) && !math.IsInf(col[idx], 0) {
+				s += col[idx]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[j] = med
+		} else {
+			out[j] = s / float64(cnt)
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	Register("geometric-median", func(f int) (GAR, error) {
+		if f < 0 {
+			return nil, fmt.Errorf("gar: geometric-median requires f >= 0, got %d", f)
+		}
+		return NewGeoMedian(f), nil
+	})
+	Register("mean-around-median", func(f int) (GAR, error) {
+		if f < 0 {
+			return nil, fmt.Errorf("gar: mean-around-median requires f >= 0, got %d", f)
+		}
+		return NewMeanAroundMedian(f), nil
+	})
+	// Generic BULYAN composites over the other weak rules (§2.3: the
+	// construction works over any weakly Byzantine-resilient GAR).
+	Register("bulyan-median", func(f int) (GAR, error) {
+		if f < 0 {
+			return nil, fmt.Errorf("gar: bulyan-median requires f >= 0, got %d", f)
+		}
+		return NewGenericBulyan(Median{}, f), nil
+	})
+	Register("bulyan-geometric-median", func(f int) (GAR, error) {
+		if f < 0 {
+			return nil, fmt.Errorf("gar: bulyan-geometric-median requires f >= 0, got %d", f)
+		}
+		return NewGenericBulyan(NewGeoMedian(f), f), nil
+	})
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Name = "acc"
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty series must have no last point")
+	}
+	s.Add(time.Second, 1, 0.3)
+	s.Add(2*time.Second, 2, 0.5)
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 0.5 || last.Step != 2 {
+		t.Fatalf("last %+v", last)
+	}
+	if s.MaxValue() != 0.5 {
+		t.Fatalf("max %v", s.MaxValue())
+	}
+}
+
+func TestTimeToValue(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1, 0.2)
+	s.Add(2*time.Second, 2, 0.4)
+	s.Add(3*time.Second, 3, 0.6)
+	tt, ok := s.TimeToValue(0.4)
+	if !ok || tt != 2*time.Second {
+		t.Fatalf("TimeToValue(0.4) = %v, %v", tt, ok)
+	}
+	if _, ok := s.TimeToValue(0.9); ok {
+		t.Fatal("unreachable value must report !ok")
+	}
+	st, ok := s.StepToValue(0.6)
+	if !ok || st != 3 {
+		t.Fatalf("StepToValue = %d, %v", st, ok)
+	}
+}
+
+func TestValueAtTime(t *testing.T) {
+	var s Series
+	s.Add(time.Second, 1, 0.2)
+	s.Add(3*time.Second, 2, 0.6)
+	if v, ok := s.ValueAtTime(2 * time.Second); !ok || v != 0.2 {
+		t.Fatalf("ValueAtTime(2s) = %v, %v", v, ok)
+	}
+	if _, ok := s.ValueAtTime(500 * time.Millisecond); ok {
+		t.Fatal("before first point must report !ok")
+	}
+	if v, _ := s.ValueAtTime(time.Minute); v != 0.6 {
+		t.Fatal("after last point must hold last value")
+	}
+}
+
+func TestSeriesTSV(t *testing.T) {
+	var s Series
+	s.Name = "accuracy"
+	s.Add(1500*time.Millisecond, 7, 0.25)
+	out := s.TSV()
+	if !strings.Contains(out, "# accuracy") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "1.500\t7\t0.250000") {
+		t.Fatalf("row format wrong:\n%s", out)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Name: "bulyan", ComputeComm: 480 * time.Millisecond, Aggregation: 520 * time.Millisecond}
+	if b.Total() != time.Second {
+		t.Fatalf("total %v", b.Total())
+	}
+	if share := b.AggregationShare(); share != 0.52 {
+		t.Fatalf("share %v, want 0.52", share)
+	}
+	var zero Breakdown
+	if zero.AggregationShare() != 0 {
+		t.Fatal("zero breakdown share must be 0")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var th Throughput
+	if th.GradientsPerSecond() != 0 || th.BatchesPerSecond() != 0 {
+		t.Fatal("empty throughput must be 0")
+	}
+	th.Observe(19, time.Second)
+	th.Observe(19, time.Second)
+	if got := th.GradientsPerSecond(); got != 19 {
+		t.Fatalf("gradients/s %v, want 19", got)
+	}
+	if got := th.BatchesPerSecond(); got != 1 {
+		t.Fatalf("batches/s %v, want 1", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table("Fig 4", map[string][]string{
+		"tf":     {"1.0", "0.0"},
+		"bulyan": {"0.48", "0.52"},
+	}, []string{"compute", "agg"})
+	if !strings.Contains(out, "== Fig 4 ==") {
+		t.Fatal("missing title")
+	}
+	// Sorted: bulyan row before tf row.
+	if strings.Index(out, "bulyan") > strings.Index(out, "tf") {
+		t.Fatal("rows must be sorted by label")
+	}
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "agg") {
+		t.Fatal("missing header columns")
+	}
+}

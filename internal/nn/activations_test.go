@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aggregathor/internal/tensor"
+)
+
+func TestTanhForward(t *testing.T) {
+	layer := NewTanh(FlatShape(3))
+	x := tensor.NewMatrix(1, 3)
+	copy(x.Data, []float64{0, 1, -1})
+	out := layer.Forward(x, true)
+	if out.Data[0] != 0 {
+		t.Fatalf("tanh(0) = %v", out.Data[0])
+	}
+	if math.Abs(out.Data[1]-math.Tanh(1)) > 1e-15 {
+		t.Fatalf("tanh(1) = %v", out.Data[1])
+	}
+	if out.Data[2] != -out.Data[1] {
+		t.Fatal("tanh must be odd")
+	}
+}
+
+func TestSigmoidForward(t *testing.T) {
+	layer := NewSigmoid(FlatShape(2))
+	x := tensor.NewMatrix(1, 2)
+	copy(x.Data, []float64{0, 100})
+	out := layer.Forward(x, true)
+	if out.Data[0] != 0.5 {
+		t.Fatalf("sigmoid(0) = %v", out.Data[0])
+	}
+	if math.Abs(out.Data[1]-1) > 1e-12 {
+		t.Fatalf("sigmoid(100) = %v", out.Data[1])
+	}
+}
+
+func TestTanhNetworkGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	n := NewNetwork(FlatShape(4),
+		NewDense(4, 6, rng), NewTanh(FlatShape(6)), NewDense(6, 3, rng))
+	x, y := randBatch(rng, 3, 4, 3)
+	checkGradients(t, n, x, y, 1e-5)
+}
+
+func TestSigmoidNetworkGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := NewNetwork(FlatShape(4),
+		NewDense(4, 6, rng), NewSigmoid(FlatShape(6)), NewDense(6, 3, rng))
+	x, y := randBatch(rng, 3, 4, 3)
+	checkGradients(t, n, x, y, 1e-5)
+}
+
+func TestActivationLayerContracts(t *testing.T) {
+	for _, l := range []Layer{NewTanh(FlatShape(5)), NewSigmoid(FlatShape(5))} {
+		if l.NumParams() != 0 || l.Params() != nil || l.Grads() != nil {
+			t.Fatalf("%s must be parameterless", l.Name())
+		}
+		if l.OutShape().Flat() != 5 {
+			t.Fatalf("%s shape wrong", l.Name())
+		}
+	}
+}
+
+func TestTanhMLPTrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	n := NewNetwork(FlatShape(4),
+		NewDense(4, 16, rng), NewTanh(FlatShape(16)), NewDense(16, 2, rng))
+	x := tensor.NewMatrix(40, 4)
+	y := make([]int, 40)
+	for i := 0; i < 40; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		if row[0]+row[1] > 0 {
+			y[i] = 1
+		}
+	}
+	params := n.ParamsVector()
+	for step := 0; step < 150; step++ {
+		_, grad := n.Gradient(x, y)
+		params.Axpy(-0.5, grad)
+		n.SetParamsVector(params)
+	}
+	if acc := n.Accuracy(x, y); acc < 0.85 {
+		t.Fatalf("tanh MLP accuracy %v", acc)
+	}
+}

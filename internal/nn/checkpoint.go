@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"aggregathor/internal/tensor"
+)
+
+// Checkpoint wire format: magic u32 | version u8 | step u64 | dim u64 |
+// float64 coords (little endian). The original runner exposes
+// --checkpoint-period / --checkpoint-delta; this is the equivalent
+// persistence layer.
+const (
+	checkpointMagic   = 0xA66C4B90
+	checkpointVersion = 1
+)
+
+// ErrBadCheckpoint is wrapped on malformed checkpoint data.
+var ErrBadCheckpoint = errors.New("nn: malformed checkpoint")
+
+// SaveCheckpoint writes the parameter vector and its step index to w.
+func SaveCheckpoint(w io.Writer, step int, params tensor.Vector) error {
+	bw := bufio.NewWriter(w)
+	var hdr [4 + 1 + 8 + 8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
+	hdr[4] = checkpointVersion
+	binary.LittleEndian.PutUint64(hdr[5:], uint64(step))
+	binary.LittleEndian.PutUint64(hdr[13:], uint64(params.Dim()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: writing checkpoint header: %w", err)
+	}
+	var buf [8]byte
+	for _, x := range params {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("nn: writing checkpoint body: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (step int, params tensor.Vector, err error) {
+	br := bufio.NewReader(r)
+	var hdr [4 + 1 + 8 + 8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrBadCheckpoint, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != checkpointMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if hdr[4] != checkpointVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, hdr[4])
+	}
+	step = int(binary.LittleEndian.Uint64(hdr[5:]))
+	dim := binary.LittleEndian.Uint64(hdr[13:])
+	const maxDim = 1 << 31 // refuse absurd allocations from corrupt headers
+	if dim > maxDim {
+		return 0, nil, fmt.Errorf("%w: dimension %d exceeds limit", ErrBadCheckpoint, dim)
+	}
+	params = tensor.NewVector(int(dim))
+	var buf [8]byte
+	for i := range params {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated body at coord %d: %v", ErrBadCheckpoint, i, err)
+		}
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return step, params, nil
+}
+
+// SaveCheckpointFile writes a checkpoint atomically (tmp + rename).
+func SaveCheckpointFile(path string, step int, params tensor.Vector) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("nn: creating checkpoint: %w", err)
+	}
+	if err := SaveCheckpoint(f, step, params); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("nn: closing checkpoint: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpointFile reads a checkpoint file.
+func LoadCheckpointFile(path string) (step int, params tensor.Vector, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("nn: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

@@ -1,0 +1,168 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"aggregathor/internal/draco"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/tensor"
+)
+
+// DracoConfig assembles the Draco comparison deployment (Chen et al. 2018):
+// workers are partitioned into redundancy groups that evaluate identical
+// mini-batches, and the server majority-votes each group instead of running
+// a robust GAR.
+type DracoConfig struct {
+	// ModelFactory builds one network replica (as in Config).
+	ModelFactory func() *nn.Network
+	// Plan is the redundancy assignment (n, f, repetition/cyclic).
+	Plan *draco.Plan
+	// Optimizer applies decoded gradients.
+	Optimizer opt.Optimizer
+	// Batch is the per-group mini-batch size.
+	Batch int
+	// DataSeed derives the shared per-group samplers: group members MUST
+	// see identical data — the agreement-on-ordering requirement the
+	// paper criticises as incompatible with private datasets.
+	DataSeed int64
+	// Dataset provides group batches.
+	Dataset DracoDataset
+	// ByzantineWorkers lists worker ids that corrupt their submissions
+	// (the reversed-gradient adversary with momentum, per the paper's
+	// Draco setup).
+	ByzantineWorkers []int
+	// AttackMagnitude scales the corruption (default 100).
+	AttackMagnitude float64
+}
+
+// DracoDataset is the minimal dataset access Draco's shared-batch scheme
+// needs: deterministic batch i for seed s, identical across group members.
+type DracoDataset interface {
+	// GroupBatch returns the mini-batch for (group, step) — the same
+	// bytes for every member of the group.
+	GroupBatch(group, step, batch int, seed int64) (*tensor.Matrix, []int)
+}
+
+// DracoCluster runs the Draco training loop.
+type DracoCluster struct {
+	cfg      DracoConfig
+	server   *nn.Network
+	params   tensor.Vector
+	replicas []*nn.Network
+	rng      *rand.Rand
+	byz      map[int]bool
+	step     int
+}
+
+// NewDraco validates and assembles a Draco deployment.
+func NewDraco(cfg DracoConfig) (*DracoCluster, error) {
+	if cfg.ModelFactory == nil || cfg.Plan == nil || cfg.Optimizer == nil || cfg.Dataset == nil {
+		return nil, errors.New("ps: draco config missing required field")
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("ps: draco batch size %d", cfg.Batch)
+	}
+	byz := map[int]bool{}
+	for _, w := range cfg.ByzantineWorkers {
+		if w < 0 || w >= cfg.Plan.N {
+			return nil, fmt.Errorf("ps: draco byzantine worker %d out of range", w)
+		}
+		byz[w] = true
+	}
+	if len(byz) > cfg.Plan.F {
+		return nil, fmt.Errorf("ps: %d Byzantine workers exceed Draco tolerance f=%d", len(byz), cfg.Plan.F)
+	}
+	c := &DracoCluster{
+		cfg:    cfg,
+		server: cfg.ModelFactory(),
+		rng:    rand.New(rand.NewSource(cfg.DataSeed ^ 0x5eed)),
+		byz:    byz,
+	}
+	c.params = c.server.ParamsVector()
+	c.replicas = make([]*nn.Network, cfg.Plan.N)
+	for i := range c.replicas {
+		c.replicas[i] = cfg.ModelFactory()
+	}
+	return c, nil
+}
+
+// Step runs one Draco round: each group's members compute the group batch
+// gradient on their replicas (identical results for honest members),
+// Byzantine members corrupt theirs, and the server majority-decodes.
+func (c *DracoCluster) Step() (*StepResult, error) {
+	groups := c.cfg.Plan.Groups()
+	res := &StepResult{Step: c.step}
+	submissions := make([][]tensor.Vector, len(groups))
+	mag := c.cfg.AttackMagnitude
+	if mag == 0 {
+		mag = 100
+	}
+
+	// With cyclic assignment one worker serves several groups but owns a
+	// single replica, so computation is serialised per worker (not
+	// globally) with one mutex per worker id.
+	workerMu := make([]sync.Mutex, c.cfg.Plan.N)
+	var statsMu sync.Mutex
+	var lossSum float64
+	var lossN int
+	var wg sync.WaitGroup
+	for g, members := range groups {
+		submissions[g] = make([]tensor.Vector, len(members))
+		for slot, w := range members {
+			wg.Add(1)
+			go func(g, slot, w int) {
+				defer wg.Done()
+				x, y := c.cfg.Dataset.GroupBatch(g, c.step, c.cfg.Batch, c.cfg.DataSeed)
+				workerMu[w].Lock()
+				replica := c.replicas[w]
+				replica.SetParamsVector(c.params)
+				loss, grad := replica.Gradient(x, y)
+				gcopy := grad.Clone()
+				workerMu[w].Unlock()
+				if c.byz[w] {
+					gcopy.Scale(-mag) // reversed-gradient adversary
+				} else {
+					statsMu.Lock()
+					lossSum += loss
+					lossN++
+					statsMu.Unlock()
+				}
+				submissions[g][slot] = gcopy
+			}(g, slot, w)
+		}
+	}
+	wg.Wait()
+	if lossN > 0 {
+		res.Loss = lossSum / float64(lossN)
+	}
+	for _, subs := range submissions {
+		res.Received += len(subs)
+	}
+
+	decoded, err := c.cfg.Plan.Decode(submissions)
+	if err != nil {
+		if errors.Is(err, draco.ErrNoMajority) {
+			res.Skipped = true
+			c.step++
+			return res, nil
+		}
+		return nil, fmt.Errorf("ps: draco decode at step %d: %w", c.step, err)
+	}
+	c.cfg.Optimizer.Step(c.step, c.params, decoded.Gradient)
+	c.server.SetParamsVector(c.params)
+	c.step++
+	return res, nil
+}
+
+// Params returns a copy of the current parameters.
+func (c *DracoCluster) Params() tensor.Vector { return c.params.Clone() }
+
+// Model returns the synchronised evaluation replica.
+func (c *DracoCluster) Model() *nn.Network { return c.server }
+
+// StepCount returns the number of rounds run.
+func (c *DracoCluster) StepCount() int { return c.step }

@@ -1,0 +1,333 @@
+// Package ps implements the synchronous parameter-server training loop of
+// the paper (§3.1–3.2): the server broadcasts the model, every worker —
+// honest or Byzantine — submits a gradient for the step, the configured GAR
+// aggregates, and the optimizer applies the descent update.
+//
+// Two behaviours from the paper's systems contribution are modelled
+// explicitly:
+//
+//   - Security mode. Vanilla TensorFlow lets any node execute operations
+//     anywhere in the cluster, so a single Byzantine worker can overwrite
+//     the shared parameters regardless of the GAR. Vanilla mode reproduces
+//     that vulnerability; Patched mode (the paper's TensorFlow code patch:
+//     "ps" jobs discard remote graph definitions/executions) refuses remote
+//     writes.
+//
+//   - Bounded waiting. TensorFlow waits indefinitely for non-responding
+//     nodes (incompatible with Byzantine workers); here the collection phase
+//     simply proceeds with whatever gradients the links delivered, and a
+//     round whose survivor count violates the GAR's requirement is skipped
+//     rather than deadlocked.
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/data"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+// SecurityMode selects whether the server accepts remote parameter writes.
+type SecurityMode int
+
+const (
+	// Patched is the AggregaThor default: only gradient pushes accepted.
+	Patched SecurityMode = iota
+	// Vanilla reproduces the TensorFlow vulnerability: any worker may
+	// overwrite the shared parameters.
+	Vanilla
+)
+
+// ErrForbidden is returned by remote writes in Patched mode.
+var ErrForbidden = errors.New("ps: remote parameter write forbidden (patched server)")
+
+// WorkerConfig describes one worker node.
+type WorkerConfig struct {
+	// Sampler provides the worker's mini-batches (possibly corrupted —
+	// the Figure 7 data-poisoning path).
+	Sampler data.Sampler
+	// Attack, when non-nil, makes the worker Byzantine at the gradient
+	// level: it submits Attack.Forge(...) instead of its honest gradient.
+	Attack attack.Attack
+	// HijackParams makes the worker attempt a remote parameter overwrite
+	// every step (succeeds only against a Vanilla server).
+	HijackParams bool
+	// Silent makes the worker never submit a gradient (crash/withhold).
+	Silent bool
+	// Pipe is the data-plane link to the server; nil means a perfect
+	// (TCP-like) link.
+	Pipe transport.Pipe
+	// Seed drives the worker's attack randomness.
+	Seed int64
+}
+
+// Config assembles a training cluster.
+type Config struct {
+	// ModelFactory builds one network replica; called once for the server
+	// and once per worker (in-graph replication: identical structure,
+	// server-owned parameters).
+	ModelFactory func() *nn.Network
+	// Workers lists the n worker nodes.
+	Workers []WorkerConfig
+	// GAR is the gradient aggregation rule.
+	GAR gar.GAR
+	// Optimizer applies aggregated gradients (RMSProp lr=1e-3 in the
+	// paper's evaluation).
+	Optimizer opt.Optimizer
+	// Batch is the per-worker mini-batch size.
+	Batch int
+	// Mode selects the security behaviour (Patched by default).
+	Mode SecurityMode
+	// L1, L2 are the regularisation weights.
+	L1, L2 float64
+}
+
+// Cluster is an assembled synchronous training deployment.
+type Cluster struct {
+	cfg      Config
+	server   *nn.Network // parameter authority + evaluation replica
+	params   tensor.Vector
+	replicas []*nn.Network
+	rngs     []*rand.Rand
+	step     int
+	hijacked bool
+}
+
+// StepResult reports one synchronous round.
+type StepResult struct {
+	// Step is the model-update index of this round (before increment).
+	Step int
+	// Loss is the mean training loss over honest workers this round.
+	Loss float64
+	// Received is how many gradients survived the links.
+	Received int
+	// Skipped is true when the round could not aggregate (too few
+	// survivors for the GAR) and the model was left unchanged.
+	Skipped bool
+	// Hijacked is true when a Byzantine worker overwrote the parameters
+	// this round (Vanilla mode only).
+	Hijacked bool
+}
+
+// New validates the configuration and builds the cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.ModelFactory == nil {
+		return nil, errors.New("ps: ModelFactory is required")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("ps: at least one worker is required")
+	}
+	if cfg.GAR == nil {
+		return nil, errors.New("ps: GAR is required")
+	}
+	if cfg.Optimizer == nil {
+		return nil, errors.New("ps: Optimizer is required")
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("ps: batch size %d", cfg.Batch)
+	}
+	if info, ok := cfg.GAR.(gar.ByzantineInfo); ok {
+		if len(cfg.Workers) < info.MinWorkers() {
+			return nil, fmt.Errorf("ps: %s(f=%d) needs %d workers, got %d",
+				cfg.GAR.Name(), info.F(), info.MinWorkers(), len(cfg.Workers))
+		}
+	}
+	c := &Cluster{cfg: cfg, server: cfg.ModelFactory()}
+	c.params = c.server.ParamsVector()
+	c.replicas = make([]*nn.Network, len(cfg.Workers))
+	c.rngs = make([]*rand.Rand, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		if w.Sampler == nil && w.Attack == nil && !w.Silent {
+			return nil, fmt.Errorf("ps: worker %d has no sampler and no attack", i)
+		}
+		c.replicas[i] = cfg.ModelFactory()
+		if c.replicas[i].NumParams() != c.server.NumParams() {
+			return nil, fmt.Errorf("ps: worker %d replica dimension %d != server %d",
+				i, c.replicas[i].NumParams(), c.server.NumParams())
+		}
+		c.rngs[i] = rand.New(rand.NewSource(w.Seed + int64(i)*7919))
+	}
+	return c, nil
+}
+
+// Step runs one synchronous round.
+func (c *Cluster) Step() (*StepResult, error) {
+	n := len(c.cfg.Workers)
+	res := &StepResult{Step: c.step}
+
+	// Hijack phase: in Vanilla mode a Byzantine worker's remote write
+	// lands before aggregation even starts (this is how the TensorFlow
+	// distributed example shares parameters).
+	for i, w := range c.cfg.Workers {
+		if !w.HijackParams {
+			continue
+		}
+		garbage := tensor.NewVector(c.params.Dim())
+		for j := range garbage {
+			garbage[j] = c.rngs[i].NormFloat64() * 1e3
+		}
+		if err := c.RemoteAssign(garbage); err == nil {
+			res.Hijacked = true
+		}
+	}
+
+	// Broadcast + honest compute phase (parallel, one goroutine per
+	// worker, each on its own replica).
+	honest := make([]tensor.Vector, n)
+	losses := make([]float64, n)
+	hasLoss := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := range c.cfg.Workers {
+		w := &c.cfg.Workers[i]
+		if w.Silent || w.Sampler == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replica := c.replicas[i]
+			replica.SetParamsVector(c.params)
+			x, y := c.cfg.Workers[i].Sampler.Sample(c.cfg.Batch)
+			loss, grad := replica.Gradient(x, y)
+			honest[i] = grad.Clone()
+			losses[i] = loss
+			hasLoss[i] = true
+		}(i)
+	}
+	wg.Wait()
+
+	// Forge phase: Byzantine workers see every correct gradient (§3.1's
+	// omniscient adversary) before crafting their submission.
+	var correct []tensor.Vector
+	for i, w := range c.cfg.Workers {
+		if w.Attack == nil && honest[i] != nil {
+			correct = append(correct, honest[i])
+		}
+	}
+	submissions := make([]*transport.GradientMsg, n)
+	byzCount := 0
+	for _, w := range c.cfg.Workers {
+		if w.Attack != nil {
+			byzCount++
+		}
+	}
+	for i := range c.cfg.Workers {
+		w := &c.cfg.Workers[i]
+		if w.Silent {
+			continue
+		}
+		var g tensor.Vector
+		if w.Attack != nil {
+			g = w.Attack.Forge(&attack.Context{
+				Step:   c.step,
+				Honest: correct,
+				Own:    honest[i],
+				N:      n,
+				F:      byzCount,
+				Dim:    c.params.Dim(),
+				Rng:    c.rngs[i],
+			})
+		} else {
+			g = honest[i]
+		}
+		if g == nil {
+			continue
+		}
+		submissions[i] = &transport.GradientMsg{Worker: i, Step: c.step, Grad: g}
+	}
+
+	// Collection phase: every submission traverses its link.
+	var received []tensor.Vector
+	for i, msg := range submissions {
+		if msg == nil {
+			continue
+		}
+		pipe := c.cfg.Workers[i].Pipe
+		if pipe == nil {
+			pipe = transport.PerfectPipe{}
+		}
+		out, ok := pipe.Transfer(msg)
+		if !ok {
+			continue
+		}
+		received = append(received, out.Grad)
+	}
+	res.Received = len(received)
+
+	// Mean honest loss (diagnostic only; Byzantine losses are excluded).
+	var lossSum float64
+	var lossN int
+	for i := range losses {
+		if hasLoss[i] && c.cfg.Workers[i].Attack == nil {
+			lossSum += losses[i]
+			lossN++
+		}
+	}
+	if lossN > 0 {
+		res.Loss = lossSum / float64(lossN)
+	}
+
+	// Aggregation + descent phase.
+	agg, err := c.cfg.GAR.Aggregate(received)
+	if err != nil {
+		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
+			res.Skipped = true
+			c.step++
+			return res, nil
+		}
+		return nil, fmt.Errorf("ps: aggregation failed at step %d: %w", c.step, err)
+	}
+	opt.Regularize(agg, c.params, c.cfg.L1, c.cfg.L2)
+	c.cfg.Optimizer.Step(c.step, c.params, agg)
+	c.server.SetParamsVector(c.params)
+	c.step++
+	return res, nil
+}
+
+// RemoteAssign is the remote parameter-write RPC: a Vanilla server applies
+// it (the TensorFlow vulnerability), a Patched server refuses.
+func (c *Cluster) RemoteAssign(params tensor.Vector) error {
+	if c.cfg.Mode != Vanilla {
+		return ErrForbidden
+	}
+	if params.Dim() != c.params.Dim() {
+		return fmt.Errorf("ps: remote assign dimension %d, want %d", params.Dim(), c.params.Dim())
+	}
+	copy(c.params, params)
+	c.server.SetParamsVector(c.params)
+	c.hijacked = true
+	return nil
+}
+
+// Params returns a copy of the current model parameters.
+func (c *Cluster) Params() tensor.Vector { return c.params.Clone() }
+
+// SetParams overwrites the model parameters (checkpoint restore / warm
+// start). Unlike RemoteAssign this is a local trusted-operator action and is
+// permitted in any security mode.
+func (c *Cluster) SetParams(v tensor.Vector) error {
+	if v.Dim() != c.params.Dim() {
+		return fmt.Errorf("ps: SetParams dimension %d, want %d", v.Dim(), c.params.Dim())
+	}
+	copy(c.params, v)
+	c.server.SetParamsVector(c.params)
+	return nil
+}
+
+// Model returns the server's evaluation replica, synchronised with the
+// current parameters.
+func (c *Cluster) Model() *nn.Network { return c.server }
+
+// StepCount returns the number of rounds run so far.
+func (c *Cluster) StepCount() int { return c.step }
+
+// Hijacked reports whether any remote write has ever succeeded.
+func (c *Cluster) Hijacked() bool { return c.hijacked }

@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMatMulSmall(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 2)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	out := NewMatrix(2, 2)
+	MatMul(out, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("MatMul[%d]: got %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2))
+}
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func matricesClose(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("%s: element %d: got %v, want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 20; iter++ {
+		r, k, c := rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1
+		a, b := randMatrix(rng, r, k), randMatrix(rng, k, c)
+		out := NewMatrix(r, c)
+		MatMul(out, a, b)
+		matricesClose(t, out, naiveMatMul(a, b), "MatMul")
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 20; iter++ {
+		r, k, c := rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1
+		a, b := randMatrix(rng, k, r), randMatrix(rng, k, c)
+		out := NewMatrix(r, c)
+		MatMulTransA(out, a, b)
+		// Reference: transpose a by hand.
+		at := NewMatrix(r, k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < r; j++ {
+				at.Set(j, i, a.At(i, j))
+			}
+		}
+		matricesClose(t, out, naiveMatMul(at, b), "MatMulTransA")
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 20; iter++ {
+		r, k, c := rng.Intn(6)+1, rng.Intn(6)+1, rng.Intn(6)+1
+		a, b := randMatrix(rng, r, k), randMatrix(rng, c, k)
+		out := NewMatrix(r, c)
+		MatMulTransB(out, a, b)
+		bt := NewMatrix(k, c)
+		for i := 0; i < c; i++ {
+			for j := 0; j < k; j++ {
+				bt.Set(j, i, b.At(i, j))
+			}
+		}
+		matricesClose(t, out, naiveMatMul(a, bt), "MatMulTransB")
+	}
+}
+
+func TestAddRowVectorAndColumnSums(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	m.AddRowVector(Vector{10, 20})
+	if m.At(0, 0) != 11 || m.At(1, 1) != 24 {
+		t.Fatalf("AddRowVector: got %v", m.Data)
+	}
+	sums := m.ColumnSums()
+	if sums[0] != 24 || sums[1] != 46 {
+		t.Fatalf("ColumnSums: got %v", sums)
+	}
+}
+
+func TestMatrixRowView(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Row(1).Fill(5)
+	if m.At(1, 0) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("Row must be a mutable view of only that row")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original storage")
+	}
+}

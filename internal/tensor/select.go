@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+)
+
+// ArgsortAscending returns the indexes of xs ordered by ascending value.
+// NaN values sort last (they compare as "greater than everything"), so a
+// Byzantine score of NaN can never win a smallest-score selection.
+func ArgsortAscending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		xa, xb := xs[idx[a]], xs[idx[b]]
+		if math.IsNaN(xa) {
+			return false
+		}
+		if math.IsNaN(xb) {
+			return true
+		}
+		return xa < xb
+	})
+	return idx
+}
+
+// SmallestK returns the indexes of the k smallest values in xs (NaN last).
+// It panics if k is out of range.
+func SmallestK(xs []float64, k int) []int {
+	if k < 0 || k > len(xs) {
+		panic("tensor: SmallestK k out of range")
+	}
+	return ArgsortAscending(xs)[:k]
+}
+
+// ArgMin returns the index of the smallest value in xs (NaN treated as +Inf).
+// It panics on an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("tensor: ArgMin of empty slice")
+	}
+	best := 0
+	bestV := math.Inf(1)
+	for i, x := range xs {
+		if !math.IsNaN(x) && x < bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}
+
+// Median returns the median of xs, averaging the two middle values for even
+// lengths. NaN entries are ignored; if every entry is NaN the result is NaN.
+// It panics on an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("tensor: Median of empty slice")
+	}
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	mid := len(clean) / 2
+	if len(clean)%2 == 1 {
+		return clean[mid]
+	}
+	return midpoint(clean[mid-1], clean[mid])
+}
+
+// midpoint averages a and b without overflowing near ±MaxFloat64.
+func midpoint(a, b float64) float64 { return a/2 + b/2 }
+
+// MedianInPlace is Median without the defensive copy: it sorts xs. Use it on
+// scratch buffers in hot loops (Bulyan's coordinate-wise pass).
+func MedianInPlace(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("tensor: MedianInPlace of empty slice")
+	}
+	sort.Float64s(xs) // NaNs sort to the front in sort.Float64s
+	// Skip leading NaNs.
+	lo := 0
+	for lo < len(xs) && math.IsNaN(xs[lo]) {
+		lo++
+	}
+	if lo == len(xs) {
+		return math.NaN()
+	}
+	clean := xs[lo:]
+	mid := len(clean) / 2
+	if len(clean)%2 == 1 {
+		return clean[mid]
+	}
+	return midpoint(clean[mid-1], clean[mid])
+}
+
+// ClosestToPivot returns the indexes of the k values in xs closest to pivot
+// by absolute difference. Non-finite distances rank last. It panics if k is
+// out of range.
+func ClosestToPivot(xs []float64, pivot float64, k int) []int {
+	if k < 0 || k > len(xs) {
+		panic("tensor: ClosestToPivot k out of range")
+	}
+	dist := make([]float64, len(xs))
+	for i, x := range xs {
+		d := math.Abs(x - pivot)
+		if math.IsNaN(d) {
+			d = math.Inf(1)
+		}
+		dist[i] = d
+	}
+	return SmallestK(dist, k)
+}
+
+// CoordinateMedian returns the coordinate-wise median of vs, the Median GAR
+// kernel (Xie et al. 2018). It panics if vs is empty or dimensions mismatch.
+func CoordinateMedian(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("tensor: CoordinateMedian of empty vector set")
+	}
+	d := len(vs[0])
+	out := NewVector(d)
+	col := make([]float64, len(vs))
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			if len(v) != d {
+				panic("tensor: CoordinateMedian dimension mismatch")
+			}
+			col[i] = v[j]
+		}
+		out[j] = MedianInPlace(col)
+	}
+	return out
+}
+
+// TrimmedMean returns the coordinate-wise mean of vs after discarding the b
+// largest and b smallest values in each coordinate (Yin et al. 2018). It
+// panics if 2b >= len(vs).
+func TrimmedMean(vs []Vector, b int) Vector {
+	if len(vs) == 0 {
+		panic("tensor: TrimmedMean of empty vector set")
+	}
+	if 2*b >= len(vs) {
+		panic("tensor: TrimmedMean requires 2b < n")
+	}
+	d := len(vs[0])
+	out := NewVector(d)
+	col := make([]float64, len(vs))
+	for j := 0; j < d; j++ {
+		for i, v := range vs {
+			col[i] = v[j]
+		}
+		sort.Float64s(col)
+		var s float64
+		kept := col[b : len(col)-b]
+		for _, x := range kept {
+			s += x
+		}
+		out[j] = s / float64(len(kept))
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+// Package tensor provides the flat numeric substrate used throughout the
+// AggregaThor reproduction: dense float64 vectors and matrices, distance
+// kernels, NaN-aware reductions, and small selection utilities.
+//
+// Gradient aggregation rules (package gar) operate on flat vectors, so this
+// package is deliberately biased toward contiguous []float64 operations with
+// explicit handling of non-finite values (NaN, ±Inf): a distance involving a
+// non-finite coordinate saturates to +Inf rather than poisoning downstream
+// comparisons.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense float64 vector. The zero value is an empty vector.
+type Vector []float64
+
+// NewVector returns a zero-filled vector of dimension d.
+func NewVector(d int) Vector { return make(Vector, d) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim returns the dimension (length) of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Fill sets every coordinate of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Zero sets every coordinate of v to 0.
+func (v Vector) Zero() { v.Fill(0) }
+
+// Add accumulates w into v coordinate-wise. It panics on dimension mismatch.
+func (v Vector) Add(w Vector) {
+	mustSameDim(v, w)
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Sub subtracts w from v coordinate-wise. It panics on dimension mismatch.
+func (v Vector) Sub(w Vector) {
+	mustSameDim(v, w)
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// Scale multiplies every coordinate of v by a.
+func (v Vector) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Axpy computes v += a*w (the BLAS axpy kernel). It panics on dimension
+// mismatch.
+func (v Vector) Axpy(a float64, w Vector) {
+	mustSameDim(v, w)
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Dot returns the inner product of v and w. It panics on dimension mismatch.
+func (v Vector) Dot(w Vector) float64 {
+	mustSameDim(v, w)
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.SquaredNorm()) }
+
+// SquaredNorm returns the squared Euclidean norm of v.
+func (v Vector) SquaredNorm() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// SquaredDistance returns the squared Euclidean distance between v and w.
+// If any coordinate of either vector is non-finite the result is +Inf: a
+// Byzantine gradient carrying NaN or ±Inf must rank as maximally distant, not
+// contaminate comparisons with NaN.
+func SquaredDistance(v, w Vector) float64 {
+	mustSameDim(v, w)
+	var s float64
+	for i := range v {
+		d := v[i] - w[i]
+		s += d * d
+	}
+	if math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between v and w with the same
+// non-finite saturation as SquaredDistance.
+func Distance(v, w Vector) float64 { return math.Sqrt(SquaredDistance(v, w)) }
+
+// IsFinite reports whether every coordinate of v is finite.
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNonFinite returns the number of NaN or ±Inf coordinates in v.
+func (v Vector) CountNonFinite() int {
+	n := 0
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// Mean returns the arithmetic mean of the coordinates of v, or 0 for an
+// empty vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Max returns the maximum coordinate of v, or -Inf for an empty vector.
+func (v Vector) Max() float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum coordinate of v, or +Inf for an empty vector.
+func (v Vector) Min() float64 {
+	m := math.Inf(1)
+	for _, x := range v {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Clamp limits every coordinate of v to [lo, hi].
+func (v Vector) Clamp(lo, hi float64) {
+	for i, x := range v {
+		if x < lo {
+			v[i] = lo
+		} else if x > hi {
+			v[i] = hi
+		}
+	}
+}
+
+// Mean returns the coordinate-wise mean of vs into a fresh vector.
+// It panics if vs is empty or dimensions mismatch.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("tensor: Mean of empty vector set")
+	}
+	out := NewVector(len(vs[0]))
+	for _, v := range vs {
+		out.Add(v)
+	}
+	out.Scale(1 / float64(len(vs)))
+	return out
+}
+
+// WeightedMean returns sum_i w_i*v_i / sum_i w_i. It panics if the weight and
+// vector counts differ, vs is empty, or the weights sum to zero.
+func WeightedMean(vs []Vector, ws []float64) Vector {
+	if len(vs) == 0 {
+		panic("tensor: WeightedMean of empty vector set")
+	}
+	if len(vs) != len(ws) {
+		panic(fmt.Sprintf("tensor: WeightedMean got %d vectors but %d weights", len(vs), len(ws)))
+	}
+	var total float64
+	out := NewVector(len(vs[0]))
+	for i, v := range vs {
+		out.Axpy(ws[i], v)
+		total += ws[i]
+	}
+	if total == 0 {
+		panic("tensor: WeightedMean weights sum to zero")
+	}
+	out.Scale(1 / total)
+	return out
+}
+
+// NaNMean returns the coordinate-wise mean of vs ignoring NaN entries, the
+// "selective averaging" kernel from §3.3 of the paper. A coordinate that is
+// NaN in every vector yields 0 (no information received — treat as a null
+// update for that coordinate).
+func NaNMean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("tensor: NaNMean of empty vector set")
+	}
+	d := len(vs[0])
+	out := NewVector(d)
+	for j := 0; j < d; j++ {
+		var s float64
+		var n int
+		for _, v := range vs {
+			if len(v) != d {
+				panic("tensor: NaNMean dimension mismatch")
+			}
+			if !math.IsNaN(v[j]) {
+				s += v[j]
+				n++
+			}
+		}
+		if n > 0 {
+			out[j] = s / float64(n)
+		}
+	}
+	return out
+}
+
+func mustSameDim(v, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: dimension mismatch %d != %d", len(v), len(w)))
+	}
+}

@@ -1,0 +1,165 @@
+// Package transport implements the communication layer of the reproduction:
+// binary wire codecs for model and gradient messages, a reliable TCP
+// transport (the gRPC stand-in), the lossyMPI-style UDP transport — gradient
+// chunking into datagrams with self-describing sequence headers, deadline
+// reassembly, and the three §3.3 recoup policies for lost coordinates — and
+// an in-memory lossy pipe used by the simulator for deterministic
+// packet-drop experiments.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"aggregathor/internal/tensor"
+)
+
+// Wire format constants.
+const (
+	// Magic tags every AggregaThor frame and datagram.
+	Magic = 0xA66E06A7
+	// Version is the current wire version.
+	Version = 1
+
+	msgModel    = 1
+	msgGradient = 2
+)
+
+// ErrBadFrame is wrapped by decoders on malformed input.
+var ErrBadFrame = errors.New("transport: malformed frame")
+
+// GradientMsg is one worker's gradient submission for one step.
+type GradientMsg struct {
+	Worker int
+	Step   int
+	Grad   tensor.Vector
+}
+
+// ModelMsg is the server's parameter broadcast for one step.
+type ModelMsg struct {
+	Step   int
+	Params tensor.Vector
+}
+
+// Codec converts vectors to wire bytes. Float32 halves the wire size (the
+// TensorFlow default); Float64 is lossless.
+type Codec struct {
+	// Float32 selects the 4-byte wire coordinate format.
+	Float32 bool
+}
+
+// BytesPerCoord returns the wire size of one coordinate.
+func (c Codec) BytesPerCoord() int {
+	if c.Float32 {
+		return 4
+	}
+	return 8
+}
+
+func (c Codec) putCoords(dst []byte, v tensor.Vector) {
+	if c.Float32 {
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(float32(x)))
+		}
+		return
+	}
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(x))
+	}
+}
+
+func (c Codec) getCoords(src []byte, v tensor.Vector) {
+	if c.Float32 {
+		for i := range v {
+			v[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:])))
+		}
+		return
+	}
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+}
+
+// EncodeGradient renders a gradient message as a framed byte slice:
+// magic u32 | version u8 | type u8 | worker u32 | step u64 | dim u32 | coords.
+func (c Codec) EncodeGradient(m *GradientMsg) []byte {
+	buf := make([]byte, 4+1+1+4+8+4+len(m.Grad)*c.BytesPerCoord())
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	buf[4] = Version
+	buf[5] = msgGradient
+	binary.LittleEndian.PutUint32(buf[6:], uint32(m.Worker))
+	binary.LittleEndian.PutUint64(buf[10:], uint64(m.Step))
+	binary.LittleEndian.PutUint32(buf[18:], uint32(len(m.Grad)))
+	c.putCoords(buf[22:], m.Grad)
+	return buf
+}
+
+// DecodeGradient parses EncodeGradient output.
+func (c Codec) DecodeGradient(buf []byte) (*GradientMsg, error) {
+	if len(buf) < 22 {
+		return nil, fmt.Errorf("%w: gradient frame too short (%d bytes)", ErrBadFrame, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if buf[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[4])
+	}
+	if buf[5] != msgGradient {
+		return nil, fmt.Errorf("%w: not a gradient frame (type %d)", ErrBadFrame, buf[5])
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[18:]))
+	want := 22 + dim*c.BytesPerCoord()
+	if len(buf) != want {
+		return nil, fmt.Errorf("%w: gradient frame %d bytes, want %d", ErrBadFrame, len(buf), want)
+	}
+	m := &GradientMsg{
+		Worker: int(binary.LittleEndian.Uint32(buf[6:])),
+		Step:   int(binary.LittleEndian.Uint64(buf[10:])),
+		Grad:   tensor.NewVector(dim),
+	}
+	c.getCoords(buf[22:], m.Grad)
+	return m, nil
+}
+
+// EncodeModel renders a model broadcast:
+// magic u32 | version u8 | type u8 | step u64 | dim u32 | coords.
+func (c Codec) EncodeModel(m *ModelMsg) []byte {
+	buf := make([]byte, 4+1+1+8+4+len(m.Params)*c.BytesPerCoord())
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	buf[4] = Version
+	buf[5] = msgModel
+	binary.LittleEndian.PutUint64(buf[6:], uint64(m.Step))
+	binary.LittleEndian.PutUint32(buf[14:], uint32(len(m.Params)))
+	c.putCoords(buf[18:], m.Params)
+	return buf
+}
+
+// DecodeModel parses EncodeModel output.
+func (c Codec) DecodeModel(buf []byte) (*ModelMsg, error) {
+	if len(buf) < 18 {
+		return nil, fmt.Errorf("%w: model frame too short (%d bytes)", ErrBadFrame, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if buf[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[4])
+	}
+	if buf[5] != msgModel {
+		return nil, fmt.Errorf("%w: not a model frame (type %d)", ErrBadFrame, buf[5])
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[14:]))
+	want := 18 + dim*c.BytesPerCoord()
+	if len(buf) != want {
+		return nil, fmt.Errorf("%w: model frame %d bytes, want %d", ErrBadFrame, len(buf), want)
+	}
+	m := &ModelMsg{
+		Step:   int(binary.LittleEndian.Uint64(buf[6:])),
+		Params: tensor.NewVector(dim),
+	}
+	c.getCoords(buf[18:], m.Params)
+	return m, nil
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aggregathor/internal/tensor"
+)
+
+// Packet is one UDP datagram's worth of gradient: a contiguous coordinate
+// range with a self-describing header. Every packet repeats the gradient
+// metadata (worker, step, total dimension) — this is the "reliability scheme
+// for metadata" of §3.3: no separate metadata channel has to survive loss,
+// and the sequence information (Offset) lets the receiver place out-of-order
+// packets correctly.
+type Packet struct {
+	Worker int
+	Step   int
+	Dim    int // total gradient dimension
+	Offset int // first coordinate carried
+	Coords tensor.Vector
+}
+
+// packetHeaderLen is magic u32 | version u8 | worker u32 | step u64 |
+// dim u32 | offset u32 | count u32.
+const packetHeaderLen = 4 + 1 + 4 + 8 + 4 + 4 + 4
+
+// DefaultMTU is the conventional Ethernet payload budget for one datagram.
+const DefaultMTU = 1400
+
+// CoordsPerPacket returns how many coordinates fit a datagram of the given
+// MTU under codec c.
+func (c Codec) CoordsPerPacket(mtu int) int {
+	n := (mtu - packetHeaderLen) / c.BytesPerCoord()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Split chunks a gradient message into MTU-sized packets.
+func (c Codec) Split(m *GradientMsg, mtu int) []Packet {
+	per := c.CoordsPerPacket(mtu)
+	dim := len(m.Grad)
+	count := (dim + per - 1) / per
+	if count == 0 {
+		count = 1
+	}
+	out := make([]Packet, 0, count)
+	for off := 0; off < dim || (dim == 0 && off == 0); off += per {
+		hi := off + per
+		if hi > dim {
+			hi = dim
+		}
+		out = append(out, Packet{
+			Worker: m.Worker,
+			Step:   m.Step,
+			Dim:    dim,
+			Offset: off,
+			Coords: m.Grad[off:hi],
+		})
+		if dim == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// EncodePacket renders a packet as a datagram payload.
+func (c Codec) EncodePacket(p *Packet) []byte {
+	buf := make([]byte, packetHeaderLen+len(p.Coords)*c.BytesPerCoord())
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	buf[4] = Version
+	binary.LittleEndian.PutUint32(buf[5:], uint32(p.Worker))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(p.Step))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(p.Dim))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(p.Offset))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(len(p.Coords)))
+	c.putCoords(buf[packetHeaderLen:], p.Coords)
+	return buf
+}
+
+// DecodePacket parses EncodePacket output.
+func (c Codec) DecodePacket(buf []byte) (*Packet, error) {
+	if len(buf) < packetHeaderLen {
+		return nil, fmt.Errorf("%w: packet too short (%d bytes)", ErrBadFrame, len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
+		return nil, fmt.Errorf("%w: bad packet magic", ErrBadFrame)
+	}
+	if buf[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported packet version %d", ErrBadFrame, buf[4])
+	}
+	count := int(binary.LittleEndian.Uint32(buf[25:]))
+	want := packetHeaderLen + count*c.BytesPerCoord()
+	if len(buf) != want {
+		return nil, fmt.Errorf("%w: packet %d bytes, want %d", ErrBadFrame, len(buf), want)
+	}
+	p := &Packet{
+		Worker: int(binary.LittleEndian.Uint32(buf[5:])),
+		Step:   int(binary.LittleEndian.Uint64(buf[9:])),
+		Dim:    int(binary.LittleEndian.Uint32(buf[17:])),
+		Offset: int(binary.LittleEndian.Uint32(buf[21:])),
+		Coords: tensor.NewVector(count),
+	}
+	if p.Offset < 0 || p.Offset+count > p.Dim {
+		return nil, fmt.Errorf("%w: packet range [%d,%d) outside dim %d", ErrBadFrame, p.Offset, p.Offset+count, p.Dim)
+	}
+	c.getCoords(buf[packetHeaderLen:], p.Coords)
+	return p, nil
+}
+
+// RecoupPolicy selects what the receive endpoint does about coordinates
+// whose packets never arrived (§3.3).
+type RecoupPolicy int
+
+const (
+	// DropGradient discards the whole gradient if any packet was lost —
+	// the straightforward solution, safe with any GAR but wasteful.
+	DropGradient RecoupPolicy = iota
+	// FillNaN marks lost coordinates NaN for selective averaging.
+	FillNaN
+	// FillRandom writes random values into lost coordinates and lets the
+	// Byzantine-resilient GAR upstairs absorb them — the AggregaThor way.
+	FillRandom
+)
+
+// String implements fmt.Stringer.
+func (p RecoupPolicy) String() string {
+	switch p {
+	case DropGradient:
+		return "drop-gradient"
+	case FillNaN:
+		return "fill-nan"
+	case FillRandom:
+		return "fill-random"
+	default:
+		return fmt.Sprintf("RecoupPolicy(%d)", int(p))
+	}
+}
+
+// Reassembler collects packets into gradients. One Reassembler serves one
+// receive endpoint; it is not safe for concurrent use (wrap externally).
+type Reassembler struct {
+	policy RecoupPolicy
+	rng    *rand.Rand
+	// pending maps (worker, step) to partial gradients.
+	pending map[[2]int]*partial
+}
+
+type partial struct {
+	grad     tensor.Vector
+	received []bool // per-coordinate arrival mask
+	missing  int
+}
+
+// NewReassembler builds a reassembler with the given recoup policy. rng is
+// required for FillRandom and ignored otherwise.
+func NewReassembler(policy RecoupPolicy, rng *rand.Rand) *Reassembler {
+	if policy == FillRandom && rng == nil {
+		panic("transport: FillRandom requires an rng")
+	}
+	return &Reassembler{policy: policy, rng: rng, pending: map[[2]int]*partial{}}
+}
+
+// Offer feeds one packet. When the packet completes its gradient, the
+// finished message is returned with done=true and the state released.
+func (r *Reassembler) Offer(p *Packet) (msg *GradientMsg, done bool) {
+	key := [2]int{p.Worker, p.Step}
+	part, ok := r.pending[key]
+	if !ok {
+		part = &partial{
+			grad:     tensor.NewVector(p.Dim),
+			received: make([]bool, p.Dim),
+			missing:  p.Dim,
+		}
+		r.pending[key] = part
+	}
+	for i, x := range p.Coords {
+		idx := p.Offset + i
+		if !part.received[idx] {
+			part.received[idx] = true
+			part.missing--
+		}
+		part.grad[idx] = x
+	}
+	if part.missing > 0 {
+		return nil, false
+	}
+	delete(r.pending, key)
+	return &GradientMsg{Worker: p.Worker, Step: p.Step, Grad: part.grad}, true
+}
+
+// Flush force-completes the pending gradient for (worker, step) using the
+// recoup policy: the deadline path when the remaining packets are presumed
+// lost. ok=false means nothing was pending, or the policy is DropGradient
+// (the partial state is discarded either way).
+func (r *Reassembler) Flush(worker, step int) (msg *GradientMsg, ok bool) {
+	key := [2]int{worker, step}
+	part, exists := r.pending[key]
+	if !exists {
+		return nil, false
+	}
+	delete(r.pending, key)
+	switch r.policy {
+	case DropGradient:
+		return nil, false
+	case FillNaN:
+		for i, got := range part.received {
+			if !got {
+				part.grad[i] = math.NaN()
+			}
+		}
+	case FillRandom:
+		for i, got := range part.received {
+			if !got {
+				part.grad[i] = r.rng.NormFloat64()
+			}
+		}
+	}
+	return &GradientMsg{Worker: worker, Step: step, Grad: part.grad}, true
+}
+
+// Pending returns how many gradients are partially assembled.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// DropStale discards every partial older than the given step — housekeeping
+// so a silent Byzantine worker cannot grow server memory without bound.
+func (r *Reassembler) DropStale(beforeStep int) int {
+	dropped := 0
+	for key := range r.pending {
+		if key[1] < beforeStep {
+			delete(r.pending, key)
+			dropped++
+		}
+	}
+	return dropped
+}

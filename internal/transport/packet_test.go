@@ -1,0 +1,329 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aggregathor/internal/tensor"
+)
+
+func TestReassemblerCompletesInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := Codec{}
+	m := &GradientMsg{Worker: 1, Step: 2, Grad: randVec(rng, 300)}
+	asm := NewReassembler(DropGradient, nil)
+	packets := c.Split(m, 256)
+	var got *GradientMsg
+	for i := range packets {
+		msg, done := asm.Offer(&packets[i])
+		if done {
+			if i != len(packets)-1 {
+				t.Fatalf("completed early at packet %d of %d", i, len(packets))
+			}
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("gradient never completed")
+	}
+	for i := range m.Grad {
+		if got.Grad[i] != m.Grad[i] {
+			t.Fatalf("coord %d mismatch", i)
+		}
+	}
+	if asm.Pending() != 0 {
+		t.Fatal("state leaked after completion")
+	}
+}
+
+func TestReassemblerOutOfOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := Codec{}
+	m := &GradientMsg{Worker: 4, Step: 9, Grad: randVec(rng, 500)}
+	packets := c.Split(m, 128)
+	rng.Shuffle(len(packets), func(i, j int) { packets[i], packets[j] = packets[j], packets[i] })
+	asm := NewReassembler(FillNaN, nil)
+	var got *GradientMsg
+	for i := range packets {
+		if msg, done := asm.Offer(&packets[i]); done {
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("out-of-order delivery failed to complete")
+	}
+	for i := range m.Grad {
+		if got.Grad[i] != m.Grad[i] {
+			t.Fatalf("coord %d mismatch under reordering", i)
+		}
+	}
+}
+
+func TestReassemblerDuplicatePacketsHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Codec{}
+	m := &GradientMsg{Worker: 1, Step: 1, Grad: randVec(rng, 64)}
+	packets := c.Split(m, 128)
+	asm := NewReassembler(DropGradient, nil)
+	// Deliver the first packet twice before the rest.
+	if _, done := asm.Offer(&packets[0]); done {
+		t.Fatal("premature completion")
+	}
+	if _, done := asm.Offer(&packets[0]); done && len(packets) > 1 {
+		t.Fatal("duplicate completed the gradient")
+	}
+	var got *GradientMsg
+	for i := 1; i < len(packets); i++ {
+		if msg, done := asm.Offer(&packets[i]); done {
+			got = msg
+		}
+	}
+	if len(packets) > 1 && got == nil {
+		t.Fatal("gradient never completed after duplicates")
+	}
+}
+
+func TestFlushFillNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := Codec{}
+	m := &GradientMsg{Worker: 2, Step: 3, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 128)
+	if len(packets) < 2 {
+		t.Fatalf("need >= 2 packets, got %d", len(packets))
+	}
+	asm := NewReassembler(FillNaN, nil)
+	asm.Offer(&packets[0]) // lose the rest
+	msg, ok := asm.Flush(2, 3)
+	if !ok {
+		t.Fatal("FillNaN flush must deliver")
+	}
+	nans := 0
+	for i, x := range msg.Grad {
+		if math.IsNaN(x) {
+			nans++
+		} else if x != m.Grad[i] {
+			t.Fatalf("received coordinate %d altered", i)
+		}
+	}
+	wantLost := 100 - len(packets[0].Coords)
+	if nans != wantLost {
+		t.Fatalf("%d NaN coords, want %d", nans, wantLost)
+	}
+}
+
+func TestFlushFillRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := Codec{}
+	m := &GradientMsg{Worker: 1, Step: 1, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 128)
+	asm := NewReassembler(FillRandom, rand.New(rand.NewSource(6)))
+	asm.Offer(&packets[0])
+	msg, ok := asm.Flush(1, 1)
+	if !ok {
+		t.Fatal("FillRandom flush must deliver")
+	}
+	if msg.Grad.CountNonFinite() != 0 {
+		t.Fatal("FillRandom must produce finite coordinates")
+	}
+}
+
+func TestFlushDropGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := Codec{}
+	m := &GradientMsg{Worker: 1, Step: 1, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 128)
+	asm := NewReassembler(DropGradient, nil)
+	asm.Offer(&packets[0])
+	if _, ok := asm.Flush(1, 1); ok {
+		t.Fatal("DropGradient flush must not deliver")
+	}
+	if asm.Pending() != 0 {
+		t.Fatal("flush must release state even when dropping")
+	}
+}
+
+func TestFlushNothingPending(t *testing.T) {
+	asm := NewReassembler(FillNaN, nil)
+	if _, ok := asm.Flush(1, 1); ok {
+		t.Fatal("flush with nothing pending must report !ok")
+	}
+}
+
+func TestFillRandomWithoutRngPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReassembler(FillRandom, nil)
+}
+
+func TestDropStale(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := Codec{}
+	asm := NewReassembler(FillNaN, nil)
+	for step := 0; step < 5; step++ {
+		m := &GradientMsg{Worker: 1, Step: step, Grad: randVec(rng, 100)}
+		packets := c.Split(m, 128)
+		asm.Offer(&packets[0]) // leave all partial
+	}
+	if asm.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", asm.Pending())
+	}
+	if dropped := asm.DropStale(3); dropped != 3 {
+		t.Fatalf("dropped %d, want 3", dropped)
+	}
+	if asm.Pending() != 2 {
+		t.Fatalf("pending %d after DropStale, want 2", asm.Pending())
+	}
+}
+
+func TestRecoupPolicyString(t *testing.T) {
+	if DropGradient.String() != "drop-gradient" ||
+		FillNaN.String() != "fill-nan" ||
+		FillRandom.String() != "fill-random" {
+		t.Fatal("policy names wrong")
+	}
+	if RecoupPolicy(9).String() != "RecoupPolicy(9)" {
+		t.Fatal("unknown policy formatting")
+	}
+}
+
+func TestLossyPipePerfectWhenNoDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pipe := NewLossyPipe(Codec{}, DefaultMTU, 0, DropGradient, 1)
+	m := &GradientMsg{Worker: 1, Step: 1, Grad: randVec(rng, 2000)}
+	out, ok := pipe.Transfer(m)
+	if !ok {
+		t.Fatal("lossless transfer dropped the gradient")
+	}
+	for i := range m.Grad {
+		if out.Grad[i] != m.Grad[i] {
+			t.Fatalf("coord %d altered", i)
+		}
+	}
+}
+
+func TestLossyPipeDropGradientLosesWholeGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pipe := NewLossyPipe(Codec{}, 256, 0.3, DropGradient, 2)
+	lost, delivered := 0, 0
+	for step := 0; step < 50; step++ {
+		m := &GradientMsg{Worker: 1, Step: step, Grad: randVec(rng, 1000)}
+		if _, ok := pipe.Transfer(m); ok {
+			delivered++
+		} else {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("30% packet loss on ~34 packets/gradient must lose gradients")
+	}
+	sent, dropped, lostStat := pipe.Stats()
+	if sent == 0 || dropped == 0 || lostStat != lost {
+		t.Fatalf("stats sent=%d dropped=%d lost=%d (observed %d)", sent, dropped, lostStat, lost)
+	}
+	_ = delivered
+}
+
+func TestLossyPipeFillNaNDeliversEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pipe := NewLossyPipe(Codec{}, 256, 0.3, FillNaN, 3)
+	for step := 0; step < 20; step++ {
+		m := &GradientMsg{Worker: 1, Step: step, Grad: randVec(rng, 1000)}
+		out, ok := pipe.Transfer(m)
+		if !ok {
+			t.Fatal("FillNaN must always deliver")
+		}
+		for i, x := range out.Grad {
+			if !math.IsNaN(x) && x != m.Grad[i] {
+				t.Fatalf("step %d coord %d: survived coordinate altered", step, i)
+			}
+		}
+	}
+}
+
+func TestLossyPipeFillRandomFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pipe := NewLossyPipe(Codec{}, 256, 0.3, FillRandom, 4)
+	for step := 0; step < 20; step++ {
+		m := &GradientMsg{Worker: 1, Step: step, Grad: randVec(rng, 1000)}
+		out, ok := pipe.Transfer(m)
+		if !ok {
+			t.Fatal("FillRandom must always deliver")
+		}
+		if out.Grad.CountNonFinite() != 0 {
+			t.Fatal("FillRandom output must be finite")
+		}
+	}
+}
+
+func TestLossyPipeDropRateStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pipe := NewLossyPipe(Codec{}, 256, 0.1, FillNaN, 5)
+	for step := 0; step < 100; step++ {
+		m := &GradientMsg{Worker: 1, Step: step, Grad: randVec(rng, 1000)}
+		pipe.Transfer(m)
+	}
+	sent, dropped, _ := pipe.Stats()
+	rate := float64(dropped) / float64(sent)
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("observed drop rate %v, configured 0.10", rate)
+	}
+}
+
+func TestLossyPipeBadDropRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLossyPipe(Codec{}, 0, 1.0, FillNaN, 1)
+}
+
+func TestPerfectPipeAliases(t *testing.T) {
+	m := &GradientMsg{Grad: tensor.Vector{1}}
+	out, ok := PerfectPipe{}.Transfer(m)
+	if !ok || out != m {
+		t.Fatal("perfect pipe must pass through")
+	}
+}
+
+// Property: split → shuffle → reassemble is the identity for any MTU and
+// dimension (no loss).
+func TestQuickSplitReassembleIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for iter := 0; iter < 60; iter++ {
+		d := rng.Intn(3000) + 1
+		mtu := rng.Intn(1400) + 64
+		c := Codec{Float32: iter%2 == 0}
+		grad := make(tensor.Vector, d)
+		for i := range grad {
+			grad[i] = float64(float32(rng.NormFloat64())) // float32-safe values
+		}
+		m := &GradientMsg{Worker: iter, Step: iter * 3, Grad: grad}
+		packets := c.Split(m, mtu)
+		rng.Shuffle(len(packets), func(i, j int) { packets[i], packets[j] = packets[j], packets[i] })
+		asm := NewReassembler(DropGradient, nil)
+		var got *GradientMsg
+		for i := range packets {
+			raw := c.EncodePacket(&packets[i])
+			p, err := c.DecodePacket(raw)
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if msg, done := asm.Offer(p); done {
+				got = msg
+			}
+		}
+		if got == nil {
+			t.Fatalf("iter %d: gradient never completed (d=%d mtu=%d)", iter, d, mtu)
+		}
+		for i := range grad {
+			if got.Grad[i] != grad[i] {
+				t.Fatalf("iter %d coord %d mismatch", iter, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"math/rand"
+)
+
+// Pipe models the data-plane effect of a worker→server gradient transfer.
+// The simulated cluster uses a Pipe per link; the time cost of the link is
+// accounted separately by package simnet (time plane and data plane are
+// decoupled, as in the paper's evaluation).
+type Pipe interface {
+	// Transfer delivers a gradient through the link. ok=false means the
+	// whole gradient was lost (DropGradient policy with at least one
+	// dropped packet). The returned message may alias the input when the
+	// link is perfect.
+	Transfer(m *GradientMsg) (out *GradientMsg, ok bool)
+}
+
+// PerfectPipe delivers gradients unchanged — the reliable TCP path.
+type PerfectPipe struct{}
+
+// Transfer implements Pipe.
+func (PerfectPipe) Transfer(m *GradientMsg) (*GradientMsg, bool) { return m, true }
+
+// LossyPipe chunks each gradient into MTU-sized packets, drops each packet
+// independently with probability DropRate, and reassembles with the
+// configured recoup policy — the in-memory equivalent of the lossyMPI UDP
+// endpoint (package-level loss model identical to the socket path in
+// udp.go).
+type LossyPipe struct {
+	codec    Codec
+	mtu      int
+	dropRate float64
+	policy   RecoupPolicy
+	rng      *rand.Rand
+	asm      *Reassembler
+
+	// Stats
+	packetsSent    int
+	packetsDropped int
+	gradientsLost  int
+}
+
+// NewLossyPipe builds a lossy link. dropRate must be in [0, 1).
+func NewLossyPipe(codec Codec, mtu int, dropRate float64, policy RecoupPolicy, seed int64) *LossyPipe {
+	if dropRate < 0 || dropRate >= 1 {
+		panic("transport: drop rate out of [0, 1)")
+	}
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &LossyPipe{
+		codec:    codec,
+		mtu:      mtu,
+		dropRate: dropRate,
+		policy:   policy,
+		rng:      rng,
+		asm:      NewReassembler(policy, rng),
+	}
+}
+
+// Transfer implements Pipe: encode→split→drop→shuffle→reassemble→recoup,
+// exercising the same codec and reassembly code as the real UDP endpoint.
+func (l *LossyPipe) Transfer(m *GradientMsg) (*GradientMsg, bool) {
+	packets := l.codec.Split(m, l.mtu)
+	l.packetsSent += len(packets)
+	surviving := make([]Packet, 0, len(packets))
+	for _, p := range packets {
+		if l.rng.Float64() < l.dropRate {
+			l.packetsDropped++
+			continue
+		}
+		surviving = append(surviving, p)
+	}
+	// Out-of-order delivery: UDP gives no ordering guarantee; the
+	// self-describing offsets must make order irrelevant.
+	l.rng.Shuffle(len(surviving), func(i, j int) {
+		surviving[i], surviving[j] = surviving[j], surviving[i]
+	})
+	var out *GradientMsg
+	for i := range surviving {
+		// Round-trip through the wire encoding so float32 width and
+		// header validation are exercised too.
+		raw := l.codec.EncodePacket(&surviving[i])
+		p, err := l.codec.DecodePacket(raw)
+		if err != nil {
+			// A corrupted self-encoded packet is a programming
+			// error, not a runtime condition.
+			panic(err)
+		}
+		if msg, done := l.asm.Offer(p); done {
+			out = msg
+		}
+	}
+	if out != nil {
+		return out, true
+	}
+	// Deadline: the step is over, recoup what we can.
+	msg, ok := l.asm.Flush(m.Worker, m.Step)
+	if !ok {
+		l.gradientsLost++
+		return nil, false
+	}
+	return msg, true
+}
+
+// Stats reports packets sent/dropped and whole gradients lost so far.
+func (l *LossyPipe) Stats() (sent, dropped, lost int) {
+	return l.packetsSent, l.packetsDropped, l.gradientsLost
+}

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+)
+
+// ErrTimeout is returned by UDPReceiver.RecvGradient when the deadline
+// passes with nothing deliverable under the recoup policy.
+var ErrTimeout = errors.New("transport: udp receive timeout")
+
+// UDPSender pushes gradients as datagrams — the lossyMPI send endpoint. An
+// optional artificial DropRate reproduces the paper's tc-based loss
+// injection (loopback links do not drop on their own).
+type UDPSender struct {
+	conn     *net.UDPConn
+	codec    Codec
+	mtu      int
+	dropRate float64
+	rng      *rand.Rand
+}
+
+// DialUDP creates a sender toward addr with an artificial drop rate in
+// [0, 1) applied before the socket write.
+func DialUDP(addr string, codec Codec, mtu int, dropRate float64, seed int64) (*UDPSender, error) {
+	if dropRate < 0 || dropRate >= 1 {
+		return nil, fmt.Errorf("transport: drop rate %v out of [0,1)", dropRate)
+	}
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial udp %s: %w", addr, err)
+	}
+	return &UDPSender{
+		conn:     conn,
+		codec:    codec,
+		mtu:      mtu,
+		dropRate: dropRate,
+		rng:      rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// ModelWorkerID tags datagrams carrying a model broadcast instead of a
+// worker gradient (footnote 12: "our setup can be easily extended to support
+// an unreliable communication for the model transfer"). Model broadcasts use
+// a dedicated receiver socket so they never interleave with gradients.
+const ModelWorkerID = 1<<30 - 1
+
+// SendModel pushes a model broadcast over the lossy channel by reusing the
+// gradient chunking with the reserved ModelWorkerID.
+func (s *UDPSender) SendModel(m *ModelMsg) error {
+	return s.SendGradient(&GradientMsg{Worker: ModelWorkerID, Step: m.Step, Grad: m.Params})
+}
+
+// SendGradient splits the gradient into datagrams and writes the survivors.
+func (s *UDPSender) SendGradient(m *GradientMsg) error {
+	for _, p := range s.codec.Split(m, s.mtu) {
+		if s.dropRate > 0 && s.rng.Float64() < s.dropRate {
+			continue // the tc stand-in: this datagram "was lost"
+		}
+		if _, err := s.conn.Write(s.codec.EncodePacket(&p)); err != nil {
+			return fmt.Errorf("transport: udp write: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases the socket.
+func (s *UDPSender) Close() error { return s.conn.Close() }
+
+// UDPReceiver assembles datagrams back into gradients with a recoup policy —
+// the lossyMPI receive endpoint.
+type UDPReceiver struct {
+	conn  *net.UDPConn
+	codec Codec
+	asm   *Reassembler
+	buf   []byte
+}
+
+// ListenUDP binds a receive endpoint on addr ("127.0.0.1:0" for tests).
+func ListenUDP(addr string, codec Codec, policy RecoupPolicy, seed int64) (*UDPReceiver, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	// Large receive buffer: a full gradient arrives as a burst.
+	_ = conn.SetReadBuffer(8 << 20)
+	return &UDPReceiver{
+		conn:  conn,
+		codec: codec,
+		asm:   NewReassembler(policy, rand.New(rand.NewSource(seed))),
+		buf:   make([]byte, 65536),
+	}, nil
+}
+
+// Addr returns the bound address.
+func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// RecvGradient blocks until one gradient completes or the timeout passes.
+// On timeout, pending partial gradients are recouped per the policy; if the
+// policy is DropGradient (or nothing was pending) ErrTimeout is returned.
+func (r *UDPReceiver) RecvGradient(timeout time.Duration) (*GradientMsg, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := r.conn.SetReadDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+		n, _, err := r.conn.ReadFromUDP(r.buf)
+		if err != nil {
+			if isTimeout(err) {
+				return r.flushAny()
+			}
+			return nil, fmt.Errorf("transport: udp read: %w", err)
+		}
+		pkt, err := r.codec.DecodePacket(r.buf[:n])
+		if err != nil {
+			// Malformed datagrams (a Byzantine worker can send
+			// anything) are dropped, not fatal.
+			continue
+		}
+		if msg, done := r.asm.Offer(pkt); done {
+			return msg, nil
+		}
+	}
+}
+
+// flushAny recoups one pending gradient per the policy.
+func (r *UDPReceiver) flushAny() (*GradientMsg, error) {
+	for key := range r.asm.pending {
+		if msg, ok := r.asm.Flush(key[0], key[1]); ok {
+			return msg, nil
+		}
+		// DropGradient: the flush discarded it; keep scanning in case
+		// another partial is flushable (it will not be — same policy —
+		// but the map must be drained to bound memory).
+	}
+	return nil, ErrTimeout
+}
+
+// RecvModel blocks until one model broadcast completes or the timeout
+// passes, with the same recoup semantics as RecvGradient. Datagrams not
+// carrying the ModelWorkerID tag are rejected as malformed.
+func (r *UDPReceiver) RecvModel(timeout time.Duration) (*ModelMsg, error) {
+	msg, err := r.RecvGradient(timeout)
+	if err != nil {
+		return nil, err
+	}
+	if msg.Worker != ModelWorkerID {
+		return nil, fmt.Errorf("%w: expected model broadcast, got gradient from worker %d",
+			ErrBadFrame, msg.Worker)
+	}
+	return &ModelMsg{Step: msg.Step, Params: msg.Grad}, nil
+}
+
+// Pending exposes the number of partially assembled gradients.
+func (r *UDPReceiver) Pending() int { return r.asm.Pending() }
+
+// Close releases the socket.
+func (r *UDPReceiver) Close() error { return r.conn.Close() }
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, os.ErrDeadlineExceeded)
+}
