@@ -1,0 +1,34 @@
+GO ?= go
+SMOKE_OUT ?= /tmp/aggregathor-scenario-smoke.json
+
+.PHONY: all vet build test race fuzz smoke ci clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short coverage of the transport codec fuzz targets beyond the seed corpus.
+fuzz:
+	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodePacket -fuzztime=10s
+	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodeGradient -fuzztime=10s
+
+# Run the built-in scenario campaign (4 GARs x 3 attacks + baseline x 2
+# network conditions) and write the deterministic results JSON.
+smoke:
+	$(GO) run ./cmd/scenario -out $(SMOKE_OUT)
+
+ci: vet build race smoke
+
+clean:
+	$(GO) clean ./...
+	rm -f $(SMOKE_OUT)

@@ -30,6 +30,7 @@ import (
 	"aggregathor/internal/core"
 	"aggregathor/internal/gar"
 	"aggregathor/internal/opt"
+	"aggregathor/internal/scenario"
 	"aggregathor/internal/tensor"
 )
 
@@ -48,6 +49,21 @@ type TCPTrainConfig = cluster.TCPTrainConfig
 
 // Run executes one experiment on the simulated cluster.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// CampaignSpec is a declarative GAR × attack × cluster × network sweep.
+type CampaignSpec = scenario.Spec
+
+// Campaign is an executed sweep: deterministic per-run results plus a text
+// summary ranking aggregation rules per attack.
+type Campaign = scenario.Campaign
+
+// RunCampaign expands and executes a scenario sweep on a bounded worker
+// pool. The same spec always produces byte-identical Campaign JSON.
+func RunCampaign(spec CampaignSpec) (*Campaign, error) { return scenario.Execute(spec) }
+
+// SmokeCampaignSpec returns the built-in demonstration sweep (4 GARs ×
+// 3 attacks + baseline × 2 network conditions).
+func SmokeCampaignSpec() CampaignSpec { return scenario.SmokeSpec() }
 
 // TCPTrain runs a socket-distributed synchronous training session.
 func TCPTrain(cfg TCPTrainConfig) ([]float64, error) {

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aggregathor/internal/scenario"
+)
+
+func TestResolveSpecDefaultsToSmoke(t *testing.T) {
+	s, err := resolveSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "smoke" {
+		t.Fatalf("default spec is %q, want the built-in smoke campaign", s.Name)
+	}
+}
+
+func TestResolveSpecFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	raw := []byte(`{"name":"file-spec","gars":["average"],"attacks":["none"],
+		"clusters":[{"workers":3,"f":0}],"networks":[{"name":"in-process"}],
+		"steps":2,"batch":4}`)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := resolveSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "file-spec" || len(s.GARs) != 1 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := resolveSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}
+
+func TestSpecJSONRoundTrips(t *testing.T) {
+	s := scenario.SmokeSpec()
+	raw, err := specJSON(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back scenario.Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || len(back.GARs) != len(s.GARs) || len(back.Networks) != len(s.Networks) {
+		t.Fatalf("round-trip changed the spec: %+v", back)
+	}
+}

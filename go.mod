@@ -1,0 +1,3 @@
+module aggregathor
+
+go 1.24

@@ -117,20 +117,40 @@ func TCPTrain(cfg TCPTrainConfig) (tensor.Vector, error) {
 		// Collection phase (parallel receives, bounded by timeout via
 		// the worker goroutines' liveness; TCP conns without deadlines
 		// here because workers are in-process and crash via errs).
-		grads := make([]tensor.Vector, len(conns))
+		// Gradients are slotted by the self-declared worker id, not the
+		// accept order of the connections: accept order is a race, and
+		// aggregating in a scheduling-dependent order would make even
+		// all-honest distributed runs non-reproducible (floating-point
+		// summation is order-sensitive).
+		grads := make([]tensor.Vector, cfg.Workers)
 		var recvWG sync.WaitGroup
+		var gradsMu sync.Mutex
 		recvErrs := make(chan error, len(conns))
-		for i, conn := range conns {
+		for _, conn := range conns {
 			recvWG.Add(1)
-			go func(i int, conn *transport.TCPConn) {
+			go func(conn *transport.TCPConn) {
 				defer recvWG.Done()
 				msg, err := conn.RecvGradient()
 				if err != nil {
 					recvErrs <- err
 					return
 				}
-				grads[i] = msg.Grad
-			}(i, conn)
+				if msg.Worker < 0 || msg.Worker >= cfg.Workers {
+					recvErrs <- fmt.Errorf("gradient from out-of-range worker id %d", msg.Worker)
+					return
+				}
+				gradsMu.Lock()
+				dup := grads[msg.Worker] != nil
+				if !dup {
+					grads[msg.Worker] = msg.Grad
+				}
+				gradsMu.Unlock()
+				if dup {
+					// A lying worker reusing another id must fail
+					// loudly, not silently shrink the honest set.
+					recvErrs <- fmt.Errorf("duplicate gradient for worker id %d", msg.Worker)
+				}
+			}(conn)
 		}
 		recvWG.Wait()
 		select {

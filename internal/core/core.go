@@ -166,6 +166,10 @@ type Config struct {
 	Recoup transport.RecoupPolicy
 	// Protocol switches the time model between TCP and UDP costing.
 	Protocol simnet.Protocol
+	// RTT overrides the simulated link round-trip time when positive
+	// (the latency axis of scenario sweeps); zero keeps the Grid5000
+	// default.
+	RTT time.Duration
 	// Seed drives all randomness.
 	Seed int64
 	// MeasureAgg measures real GAR wall time for the clock (one
@@ -346,6 +350,9 @@ func Run(cfg Config) (*Result, error) {
 	sim.FlopsPerSample = exp.FlopsPerSample
 	sim.Protocol = cfg.Protocol
 	sim.DropRate = cfg.DropRate
+	if cfg.RTT > 0 {
+		sim.RTT = cfg.RTT
+	}
 	switch {
 	case tfBaseline:
 		sim.AggTime = 0
@@ -361,14 +368,8 @@ func Run(cfg Config) (*Result, error) {
 	round := sim.SimulateRound(cfg.Batch)
 
 	res := &Result{Config: cfg}
-	res.AccuracyVsTime.Name = fmt.Sprintf("%s/accuracy-vs-time", cfg.Aggregator)
-	res.AccuracyVsStep.Name = fmt.Sprintf("%s/accuracy-vs-step", cfg.Aggregator)
-	res.LossVsStep.Name = fmt.Sprintf("%s/loss-vs-step", cfg.Aggregator)
-	res.Breakdown = metrics.Breakdown{
-		Name:        cfg.Aggregator,
-		ComputeComm: round.Compute + round.Transfer,
-		Aggregation: round.Aggregate,
-	}
+	res.seriesNames(cfg.Aggregator)
+	res.breakdown(cfg.Aggregator, round)
 
 	// Checkpoint restore (warm start) when a checkpoint file exists.
 	if cfg.CheckpointPath != "" {
@@ -380,46 +381,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	var clock simnet.Clock
-	evaluate := func(step int, loss float64) {
-		acc := cl.Model().Accuracy(test.X, test.Y)
-		res.AccuracyVsTime.Add(clock.Now(), step, acc)
-		res.AccuracyVsStep.Add(clock.Now(), step, acc)
-		res.LossVsStep.Add(clock.Now(), step, loss)
-		res.FinalAccuracy = acc
-	}
 	checkpoint := func(step int) error {
 		if cfg.CheckpointPath == "" {
 			return nil
 		}
 		return nn.SaveCheckpointFile(cfg.CheckpointPath, step, cl.Params())
 	}
-	evaluate(0, 0)
-	for step := 0; step < cfg.Steps; step++ {
-		sr, err := cl.Step()
-		if err != nil {
-			return nil, err
-		}
-		clock.Advance(round.Total())
-		res.Throughput.Observe(sr.Received, round.Total())
-		if sr.Skipped {
-			res.SkippedRounds++
-		}
-		if sr.Hijacked {
-			res.Hijacked = true
-		}
-		if !cl.Params().IsFinite() {
-			res.Diverged = true
-			break
-		}
-		if (step+1)%cfg.EvalEvery == 0 || step == cfg.Steps-1 {
-			evaluate(step+1, sr.Loss)
-		}
-		if cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0 {
-			if err := checkpoint(res.ResumedFromStep + step + 1); err != nil {
-				return nil, err
-			}
-		}
+	hooks := loopHooks{
+		finite:      func() bool { return cl.Params().IsFinite() },
+		checkpoint:  checkpoint,
+		resumedFrom: res.ResumedFromStep,
+	}
+	if err := runTraining(cfg, cl, test, round, res, hooks); err != nil {
+		return nil, err
 	}
 	if err := checkpoint(res.ResumedFromStep + cfg.Steps); err != nil {
 		return nil, err
@@ -473,36 +447,10 @@ func runReplicated(cfg Config) (*Result, error) {
 	round := sim.SimulateRound(cfg.Batch)
 
 	res := &Result{Config: cfg}
-	res.AccuracyVsTime.Name = fmt.Sprintf("%s-replicated/accuracy-vs-time", cfg.Aggregator)
-	res.AccuracyVsStep.Name = fmt.Sprintf("%s-replicated/accuracy-vs-step", cfg.Aggregator)
-	res.LossVsStep.Name = fmt.Sprintf("%s-replicated/loss-vs-step", cfg.Aggregator)
-	res.Breakdown = metrics.Breakdown{
-		Name:        cfg.Aggregator + "-replicated",
-		ComputeComm: round.Compute + round.Transfer,
-		Aggregation: round.Aggregate,
-	}
-	var clock simnet.Clock
-	evaluate := func(step int, loss float64) {
-		acc := cl.Model().Accuracy(test.X, test.Y)
-		res.AccuracyVsTime.Add(clock.Now(), step, acc)
-		res.AccuracyVsStep.Add(clock.Now(), step, acc)
-		res.LossVsStep.Add(clock.Now(), step, loss)
-		res.FinalAccuracy = acc
-	}
-	evaluate(0, 0)
-	for step := 0; step < cfg.Steps; step++ {
-		sr, err := cl.Step()
-		if err != nil {
-			return nil, err
-		}
-		clock.Advance(round.Total())
-		res.Throughput.Observe(sr.Received, round.Total())
-		if sr.Skipped {
-			res.SkippedRounds++
-		}
-		if (step+1)%cfg.EvalEvery == 0 || step == cfg.Steps-1 {
-			evaluate(step+1, sr.Loss)
-		}
+	res.seriesNames(cfg.Aggregator + "-replicated")
+	res.breakdown(cfg.Aggregator+"-replicated", round)
+	if err := runTraining(cfg, cl, test, round, res, loopHooks{}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -559,36 +507,10 @@ func runDraco(cfg Config) (*Result, error) {
 	round := sim.SimulateRound(cfg.Batch)
 
 	res := &Result{Config: cfg}
-	res.AccuracyVsTime.Name = "draco/accuracy-vs-time"
-	res.AccuracyVsStep.Name = "draco/accuracy-vs-step"
-	res.LossVsStep.Name = "draco/loss-vs-step"
-	res.Breakdown = metrics.Breakdown{
-		Name:        "draco",
-		ComputeComm: round.Compute + round.Transfer,
-		Aggregation: round.Aggregate,
-	}
-	var clock simnet.Clock
-	evaluate := func(step int, loss float64) {
-		acc := cl.Model().Accuracy(test.X, test.Y)
-		res.AccuracyVsTime.Add(clock.Now(), step, acc)
-		res.AccuracyVsStep.Add(clock.Now(), step, acc)
-		res.LossVsStep.Add(clock.Now(), step, loss)
-		res.FinalAccuracy = acc
-	}
-	evaluate(0, 0)
-	for step := 0; step < cfg.Steps; step++ {
-		sr, err := cl.Step()
-		if err != nil {
-			return nil, err
-		}
-		clock.Advance(round.Total())
-		res.Throughput.Observe(sr.Received, round.Total())
-		if sr.Skipped {
-			res.SkippedRounds++
-		}
-		if (step+1)%cfg.EvalEvery == 0 || step == cfg.Steps-1 {
-			evaluate(step+1, sr.Loss)
-		}
+	res.seriesNames("draco")
+	res.breakdown("draco", round)
+	if err := runTraining(cfg, cl, test, round, res, loopHooks{}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

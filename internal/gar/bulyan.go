@@ -116,15 +116,16 @@ func (b *Bulyan) Select(grads []tensor.Vector) ([]int, error) {
 			for _, d := range row[:hi] {
 				s += d
 			}
-			if s < bestScore ||
-				(s == bestScore && bestIdx >= 0 && lexLess(grads[gi], grads[active[bestIdx]])) {
+			if math.IsNaN(s) {
+				s = math.Inf(1)
+			}
+			// First candidate always seeds the selection so that an
+			// all-+Inf field (every candidate poisoned) still breaks
+			// ties lexicographically, exactly as selectNaive does.
+			if bestIdx < 0 || s < bestScore ||
+				(s == bestScore && lexLess(grads[gi], grads[active[bestIdx]])) {
 				bestIdx, bestScore = ai, s
 			}
-		}
-		if bestIdx < 0 {
-			// Every remaining score is +Inf (all candidates carry
-			// non-finite coordinates). Take the first to stay total.
-			bestIdx = 0
 		}
 		selected = append(selected, active[bestIdx])
 		active = append(active[:bestIdx], active[bestIdx+1:]...)

@@ -1,0 +1,199 @@
+package gar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aggregathor/internal/tensor"
+)
+
+// propertyCase binds one registry rule to a cluster shape every rule in the
+// registry can operate at: n = 11, f = 2 (bulyan's 4f+3 floor).
+type propertyCase struct {
+	name string
+	rule GAR
+	// poison is how many Byzantine inputs the rule is expected to absorb
+	// without emitting non-finite coordinates. Rules exposing ByzantineInfo
+	// declare it themselves; coordinate-wise median tolerates any minority;
+	// plain averaging and NaN-skipping averaging tolerate none (averaging
+	// is the paper's non-resilient baseline by design).
+	poison int
+	// nanOnly restricts the poison payload to NaN (selective-average skips
+	// NaN by contract but has no defence against ±Inf).
+	nanOnly bool
+}
+
+const (
+	propN = 11
+	propF = 2
+	propD = 13
+)
+
+func propertyCases(t *testing.T) []propertyCase {
+	t.Helper()
+	var cases []propertyCase
+	for _, name := range Names() {
+		rule, err := New(name, propF)
+		if err != nil {
+			t.Fatalf("building %s(f=%d): %v", name, propF, err)
+		}
+		c := propertyCase{name: name, rule: rule}
+		if info, ok := rule.(ByzantineInfo); ok {
+			if min := info.MinWorkers(); min > propN {
+				t.Fatalf("%s(f=%d) needs %d workers, property grid has %d", name, propF, min, propN)
+			}
+			c.poison = info.F()
+		}
+		switch name {
+		case "median":
+			c.poison = propF // any minority of poisoned columns
+		case "selective-average":
+			c.poison = propF
+			c.nanOnly = true
+		}
+		cases = append(cases, c)
+	}
+	if len(cases) < 7 {
+		t.Fatalf("registry shrank to %d rules", len(cases))
+	}
+	return cases
+}
+
+// honestGrads draws n finite random gradients.
+func honestGrads(rng *rand.Rand, n, d int) []tensor.Vector {
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		v := tensor.NewVector(d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// almostEqual compares coordinates with a relative tolerance: selection rules
+// are bit-exact under permutation, but rules that average accept reordered
+// floating-point summation.
+func almostEqual(a, b tensor.Vector) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for i := range a {
+		diff := math.Abs(a[i] - b[i])
+		scale := math.Max(1, math.Max(math.Abs(a[i]), math.Abs(b[i])))
+		if diff > 1e-9*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegistryPermutationInvariance: the aggregate may not depend on the
+// order gradients arrived from the network.
+func TestRegistryPermutationInvariance(t *testing.T) {
+	for _, tc := range propertyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			for rep := 0; rep < 5; rep++ {
+				grads := honestGrads(rng, propN, propD)
+				base, err := tc.rule.Aggregate(grads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perm := make([]tensor.Vector, propN)
+				for i, p := range rng.Perm(propN) {
+					perm[i] = grads[p]
+				}
+				permuted, err := tc.rule.Aggregate(perm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !almostEqual(base, permuted) {
+					t.Fatalf("rep %d: aggregate changed under permutation\n base %v\n perm %v", rep, base, permuted)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryUnanimity: when every worker submits the same gradient, the
+// rule must return (numerically) that gradient.
+func TestRegistryUnanimity(t *testing.T) {
+	for _, tc := range propertyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(202))
+			g := tensor.NewVector(propD)
+			for j := range g {
+				g[j] = rng.NormFloat64() * 3
+			}
+			grads := make([]tensor.Vector, propN)
+			for i := range grads {
+				grads[i] = g.Clone()
+			}
+			out, err := tc.rule.Aggregate(grads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(out, g) {
+				t.Fatalf("unanimous input not returned:\n want %v\n got  %v", g, out)
+			}
+			// The input gradients must not have been mutated.
+			for i, v := range grads {
+				for j := range v {
+					if v[j] != g[j] {
+						t.Fatalf("input gradient %d mutated at coordinate %d", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryNonFiniteContainment: with up to the rule's tolerated count of
+// NaN/±Inf-poisoned inputs, no non-finite coordinate may reach the output.
+func TestRegistryNonFiniteContainment(t *testing.T) {
+	payloads := map[string]func(rng *rand.Rand) float64{
+		"nan":  func(*rand.Rand) float64 { return math.NaN() },
+		"+inf": func(*rand.Rand) float64 { return math.Inf(1) },
+		"-inf": func(*rand.Rand) float64 { return math.Inf(-1) },
+		"mixed": func(rng *rand.Rand) float64 {
+			switch rng.Intn(3) {
+			case 0:
+				return math.NaN()
+			case 1:
+				return math.Inf(1)
+			default:
+				return math.Inf(-1)
+			}
+		},
+	}
+	for _, tc := range propertyCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			for payloadName, payload := range payloads {
+				if tc.nanOnly && payloadName != "nan" {
+					continue
+				}
+				rng := rand.New(rand.NewSource(303))
+				for rep := 0; rep < 3; rep++ {
+					grads := honestGrads(rng, propN, propD)
+					for i := 0; i < tc.poison; i++ {
+						v := grads[propN-1-i]
+						for j := range v {
+							v[j] = payload(rng)
+						}
+					}
+					out, err := tc.rule.Aggregate(grads)
+					if err != nil {
+						t.Fatalf("payload %s rep %d: %v", payloadName, rep, err)
+					}
+					if !out.IsFinite() {
+						t.Fatalf("payload %s rep %d (%d poisoned of %d): non-finite output %v",
+							payloadName, rep, tc.poison, propN, out)
+					}
+				}
+			}
+		})
+	}
+}

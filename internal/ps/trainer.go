@@ -1,0 +1,22 @@
+package ps
+
+import "aggregathor/internal/nn"
+
+// Trainer is the minimal surface a training driver needs from an assembled
+// deployment: advance one synchronous round and evaluate the current model.
+// Every cluster flavour in this package implements it, which is what lets
+// one loop (core's runTraining, the scenario campaign engine) drive a plain
+// parameter server, a replicated server or a Draco deployment uniformly.
+type Trainer interface {
+	// Step runs one synchronous round.
+	Step() (*StepResult, error)
+	// Model returns the evaluation replica, synchronised with the current
+	// parameters.
+	Model() *nn.Network
+}
+
+var (
+	_ Trainer = (*Cluster)(nil)
+	_ Trainer = (*ReplicatedCluster)(nil)
+	_ Trainer = (*DracoCluster)(nil)
+)

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestCampaignJSONDeterministic is the acceptance gate for the engine: a
+// campaign spanning at least 4 GARs × 3 attacks × 2 network conditions,
+// executed twice with the same spec and seeds, must produce byte-identical
+// JSON. The grid is the built-in smoke campaign with a shortened training
+// budget (the grid shape, not the step count, is what the guarantee covers).
+func TestCampaignJSONDeterministic(t *testing.T) {
+	spec := SmokeSpec()
+	spec.Steps = 8
+	spec.EvalEvery = 4
+
+	if len(spec.GARs) < 4 {
+		t.Fatalf("smoke spec has %d GARs, want >= 4", len(spec.GARs))
+	}
+	attacks := 0
+	for _, a := range spec.Attacks {
+		if a != AttackNone {
+			attacks++
+		}
+	}
+	if attacks < 3 {
+		t.Fatalf("smoke spec has %d attacks, want >= 3", attacks)
+	}
+	if len(spec.Networks) < 2 {
+		t.Fatalf("smoke spec has %d network conditions, want >= 2", len(spec.Networks))
+	}
+
+	first, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawFirst, err := first.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSecond, err := second.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawFirst, rawSecond) {
+		t.Fatal("two executions of the same spec produced different JSON")
+	}
+
+	// A third execution with a serial pool must also match byte-for-byte:
+	// neither result values, result order, nor the echoed spec may depend
+	// on the pool size (parallelism is an execution knob, not an axis).
+	spec.Parallelism = 1
+	serial, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSerial, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawFirst, rawSerial) {
+		t.Fatal("serial execution produced different results than parallel execution")
+	}
+
+	// The JSON must round-trip: campaign files are the interchange format
+	// future PRs diff against.
+	var decoded Campaign
+	if err := json.Unmarshal(rawFirst, &decoded); err != nil {
+		t.Fatalf("campaign JSON does not round-trip: %v", err)
+	}
+	if len(decoded.Results) != len(first.Results) {
+		t.Fatalf("round-trip lost results: %d != %d", len(decoded.Results), len(first.Results))
+	}
+	expanded := spec.Expand()
+	if len(first.Results) != len(expanded) {
+		t.Fatalf("campaign has %d results for %d expanded runs", len(first.Results), len(expanded))
+	}
+	for i, res := range first.Results {
+		if res.Run.ID != expanded[i].ID {
+			t.Fatalf("result %d is %q, expansion order says %q", i, res.Run.ID, expanded[i].ID)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// JSON renders the campaign as indented JSON. The encoding is deterministic:
+// structs marshal in field order, results are in expansion order, and every
+// numeric field is a pure function of the spec and seeds — two executions of
+// the same spec produce byte-identical output.
+func (c *Campaign) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding campaign: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// garStanding aggregates one rule's runs under one attack.
+type garStanding struct {
+	gar       string
+	runs      int
+	errored   int
+	diverged  int
+	skipped   int
+	accSum    float64
+	worstAcc  float64
+	aggNSSum  int64
+	reachedTh int
+}
+
+// mean returns the mean final accuracy over scored (non-errored) runs.
+func (g *garStanding) mean() float64 {
+	n := g.runs - g.errored
+	if n <= 0 {
+		return math.Inf(-1) // rules with no feasible run rank last
+	}
+	return g.accSum / float64(n)
+}
+
+// Summary renders the human-readable campaign digest: for every attack a
+// table ranking the aggregation rules by mean final accuracy across clusters,
+// networks and seeds (a diverged run scores its recorded accuracy, typically
+// the pre-divergence evaluation; an infeasible run is excluded and counted).
+func (c *Campaign) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q: %d runs (%d GARs x %d attacks x %d clusters x %d networks x %d seeds)\n",
+		c.Spec.Name, len(c.Results),
+		len(c.Spec.GARs), len(c.Spec.Attacks), len(c.Spec.Clusters), len(c.Spec.Networks), len(c.Spec.Seeds))
+	fmt.Fprintf(&b, "experiment %s, %d steps, batch %d, accuracy threshold %.2f\n",
+		c.Spec.Experiment, c.Spec.Steps, c.Spec.Batch, c.Spec.Threshold)
+
+	for _, atk := range c.Spec.Attacks {
+		standings := map[string]*garStanding{}
+		for _, res := range c.Results {
+			if res.Run.Attack != atk {
+				continue
+			}
+			st, ok := standings[res.Run.GAR]
+			if !ok {
+				st = &garStanding{gar: res.Run.GAR, worstAcc: math.Inf(1)}
+				standings[res.Run.GAR] = st
+			}
+			st.runs++
+			if res.Error != "" {
+				st.errored++
+				continue
+			}
+			st.accSum += res.FinalAccuracy
+			if res.FinalAccuracy < st.worstAcc {
+				st.worstAcc = res.FinalAccuracy
+			}
+			if res.Diverged {
+				st.diverged++
+			}
+			st.skipped += res.SkippedRounds
+			st.aggNSSum += res.AggTimePerRoundNS
+			if res.StepsToThreshold >= 0 {
+				st.reachedTh++
+			}
+		}
+		if len(standings) == 0 {
+			continue
+		}
+		ranked := make([]*garStanding, 0, len(standings))
+		for _, st := range standings {
+			ranked = append(ranked, st)
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			mi, mj := ranked[i].mean(), ranked[j].mean()
+			if mi != mj {
+				return mi > mj
+			}
+			return ranked[i].gar < ranked[j].gar
+		})
+		fmt.Fprintf(&b, "\n== attack: %s ==\n", atk)
+		fmt.Fprintf(&b, "%-4s %-24s %10s %10s %9s %8s %8s %12s\n",
+			"rank", "gar", "mean-acc", "worst-acc", "reach-th", "diverge", "skipped", "agg-ms/rnd")
+		for i, st := range ranked {
+			scored := st.runs - st.errored
+			meanAcc, worst := "-", "-"
+			aggMS := "-"
+			if scored > 0 {
+				meanAcc = fmt.Sprintf("%.4f", st.mean())
+				worst = fmt.Sprintf("%.4f", st.worstAcc)
+				aggMS = fmt.Sprintf("%.3f", float64(st.aggNSSum)/float64(scored)/1e6)
+			}
+			fmt.Fprintf(&b, "%-4d %-24s %10s %10s %6d/%-2d %8d %8d %12s\n",
+				i+1, st.gar, meanAcc, worst,
+				st.reachedTh, scored, st.diverged, st.skipped, aggMS)
+			if st.errored > 0 {
+				fmt.Fprintf(&b, "     %-24s (%d infeasible run(s) excluded)\n", "", st.errored)
+			}
+		}
+	}
+
+	if errs := c.errorLines(); len(errs) > 0 {
+		fmt.Fprintf(&b, "\n== infeasible runs ==\n")
+		for _, line := range errs {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// errorLines lists errored runs in expansion order.
+func (c *Campaign) errorLines() []string {
+	var out []string
+	for _, res := range c.Results {
+		if res.Error != "" {
+			out = append(out, fmt.Sprintf("%s: %s", res.Run.ID, res.Error))
+		}
+	}
+	return out
+}

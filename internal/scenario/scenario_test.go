@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/gar"
+)
+
+func TestApplyDefaultsCoversRegistries(t *testing.T) {
+	var s Spec
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if len(s.GARs) != len(gar.Names()) {
+		t.Errorf("default GAR axis %d rules, registry has %d", len(s.GARs), len(gar.Names()))
+	}
+	if len(s.Attacks) != len(attack.Names())+1 {
+		t.Errorf("default attack axis %d entries, want registry+none = %d",
+			len(s.Attacks), len(attack.Names())+1)
+	}
+	if s.Attacks[0] != AttackNone {
+		t.Errorf("default attack axis must lead with the %q baseline, got %q", AttackNone, s.Attacks[0])
+	}
+	if len(s.Clusters) == 0 || len(s.Networks) == 0 || len(s.Seeds) == 0 {
+		t.Fatalf("default axes empty: %+v", s)
+	}
+}
+
+func TestExpandOrderAndCount(t *testing.T) {
+	s := Spec{
+		GARs:     []string{"average", "median"},
+		Attacks:  []string{AttackNone, "reversed"},
+		Clusters: []Cluster{{Workers: 5, F: 1}, {Workers: 7, F: 1}},
+		Networks: []Network{{Name: "a"}, {Name: "b"}},
+		Seeds:    []int64{1, 2, 3},
+	}
+	s.ApplyDefaults()
+	runs := s.Expand()
+	want := 2 * 2 * 2 * 2 * 3
+	if len(runs) != want {
+		t.Fatalf("expanded %d runs, want %d", len(runs), want)
+	}
+	for i, r := range runs {
+		if r.Index != i {
+			t.Fatalf("run %d has index %d", i, r.Index)
+		}
+	}
+	// Seed is the innermost axis, GAR the outermost.
+	if runs[0].Seed != 1 || runs[1].Seed != 2 || runs[2].Seed != 3 {
+		t.Errorf("seed must vary innermost: %v %v %v", runs[0].Seed, runs[1].Seed, runs[2].Seed)
+	}
+	if runs[0].GAR != "average" || runs[len(runs)-1].GAR != "median" {
+		t.Errorf("GAR must vary outermost: first %q last %q", runs[0].GAR, runs[len(runs)-1].GAR)
+	}
+	if runs[0].ID != "average/none/n5-f1/a/seed1" {
+		t.Errorf("run ID format changed: %q", runs[0].ID)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := func() Spec {
+		s := Spec{}
+		s.ApplyDefaults()
+		return s
+	}
+	cases := map[string]func(*Spec){
+		"unknown gar":       func(s *Spec) { s.GARs = []string{"nope"} },
+		"unknown attack":    func(s *Spec) { s.Attacks = []string{"nope"} },
+		"zero workers":      func(s *Spec) { s.Clusters = []Cluster{{Workers: 0}} },
+		"f >= n":            func(s *Spec) { s.Clusters = []Cluster{{Workers: 3, F: 3}} },
+		"unnamed network":   func(s *Spec) { s.Networks = []Network{{}} },
+		"duplicate network": func(s *Spec) { s.Networks = []Network{{Name: "x"}, {Name: "x"}} },
+		"drop rate 1":       func(s *Spec) { s.Networks = []Network{{Name: "x", DropRate: 1}} },
+		"bad recoup":        func(s *Spec) { s.Networks = []Network{{Name: "x", Recoup: "nope"}} },
+		"bad protocol":      func(s *Spec) { s.Networks = []Network{{Name: "x", Protocol: "quic"}} },
+		"negative rtt":      func(s *Spec) { s.Networks = []Network{{Name: "x", RTTMicros: -1}} },
+		"bad experiment":    func(s *Spec) { s.Experiment = "nope" },
+		"bad optimizer":     func(s *Spec) { s.Optimizer = "nope" },
+	}
+	for name, mutate := range cases {
+		s := base()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"gars": ["average"], "atacks": ["random"]}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	s, err := ParseSpec([]byte(`{
+		"name": "mini",
+		"gars": ["average"],
+		"attacks": ["none"],
+		"clusters": [{"workers": 5, "f": 1}],
+		"networks": [{"name": "in-process"}],
+		"seeds": [7],
+		"steps": 2, "batch": 4
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mini" || s.Seeds[0] != 7 || s.Optimizer != "rmsprop" {
+		t.Fatalf("parsed spec %+v", s)
+	}
+}
+
+func TestExecuteRecordsInfeasibleRuns(t *testing.T) {
+	s := Spec{
+		GARs:     []string{"bulyan"},
+		Attacks:  []string{AttackNone},
+		Clusters: []Cluster{{Workers: 7, F: 2}}, // bulyan needs 4f+3 = 11
+		Networks: []Network{{Name: "in-process"}},
+		Steps:    2,
+		Batch:    4,
+	}
+	c, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Results) != 1 {
+		t.Fatalf("got %d results", len(c.Results))
+	}
+	if c.Results[0].Error == "" {
+		t.Fatal("infeasible bulyan run must record an error")
+	}
+	if !strings.Contains(c.Summary(), "infeasible") {
+		t.Error("summary must surface infeasible runs")
+	}
+}
+
+func TestExecuteSmallCampaignLearns(t *testing.T) {
+	s := Spec{
+		Name:      "learns",
+		GARs:      []string{"multi-krum"},
+		Attacks:   []string{AttackNone, "reversed"},
+		Clusters:  []Cluster{{Workers: 11, F: 2}},
+		Networks:  []Network{{Name: "in-process"}},
+		Seeds:     []int64{1},
+		Steps:     40,
+		Batch:     32,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.2,
+	}
+	c, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range c.Results {
+		if res.Error != "" {
+			t.Fatalf("%s: %v", res.Run.ID, res.Error)
+		}
+		if res.AggTimePerRoundNS <= 0 || res.RoundTimeNS <= res.AggTimePerRoundNS {
+			t.Errorf("%s: implausible timing agg=%dns round=%dns",
+				res.Run.ID, res.AggTimePerRoundNS, res.RoundTimeNS)
+		}
+	}
+	baseline := c.Results[0]
+	if baseline.Run.Attack != AttackNone {
+		t.Fatalf("expansion order changed: first run %q", baseline.Run.ID)
+	}
+	if baseline.FinalAccuracy < 0.15 {
+		t.Errorf("honest multi-krum run failed to learn: accuracy %.3f", baseline.FinalAccuracy)
+	}
+	if baseline.StepsToThreshold < 0 {
+		t.Errorf("honest run never reached threshold; accuracy %.3f", baseline.FinalAccuracy)
+	}
+	if baseline.SimTimeToThresholdNS <= 0 {
+		t.Errorf("threshold sim time not recorded: %d", baseline.SimTimeToThresholdNS)
+	}
+}
+
+func TestSummaryRanksPerAttack(t *testing.T) {
+	s := Spec{
+		GARs:     []string{"average", "median"},
+		Attacks:  []string{AttackNone, "random"},
+		Clusters: []Cluster{{Workers: 5, F: 1}},
+		Networks: []Network{{Name: "in-process"}},
+		Steps:    4,
+		Batch:    8,
+	}
+	c, err := Execute(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := c.Summary()
+	for _, want := range []string{"== attack: none ==", "== attack: random ==", "average", "median", "mean-acc"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package scenario is the campaign engine of the reproduction: it expands a
+// declarative sweep specification — the cross-product of gradient aggregation
+// rule, Byzantine attack, cluster shape (worker count and declared f) and
+// network condition — into deterministic per-seed training runs, executes
+// them on a bounded worker pool, and reports structured per-run results plus
+// a text summary ranking rules per attack.
+//
+// Determinism is a design requirement, not an accident: every run is fully
+// seeded, aggregation cost comes from the analytic simnet model, and results
+// are ordered by expansion index, so two executions of the same spec produce
+// byte-identical JSON. That property is what lets future performance or
+// robustness PRs diff campaign outputs directly.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/core"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/simnet"
+	"aggregathor/internal/transport"
+)
+
+// AttackNone is the baseline "attack" name: no Byzantine workers.
+const AttackNone = "none"
+
+// Cluster is one point on the cluster-shape axis: n workers with declared
+// Byzantine tolerance f. For attacking runs the last F workers are Byzantine.
+type Cluster struct {
+	Workers int `json:"workers"`
+	F       int `json:"f"`
+}
+
+// Network is one point on the network-condition axis.
+type Network struct {
+	// Name labels the condition in run IDs and reports ("in-process",
+	// "lossy-udp", ...). Required and unique within a spec.
+	Name string `json:"name"`
+	// UDPLinks is how many worker links run over the in-memory lossy UDP
+	// pipe; -1 means every link. 0 (the default) is the in-process perfect
+	// transport.
+	UDPLinks int `json:"udpLinks,omitempty"`
+	// DropRate is the per-packet loss probability on UDP links, in [0, 1).
+	DropRate float64 `json:"dropRate,omitempty"`
+	// Recoup selects the lost-coordinate policy on UDP links:
+	// drop-gradient | fill-nan | fill-random (default).
+	Recoup string `json:"recoup,omitempty"`
+	// Protocol costs the simulated clock as "tcp" (default) or "udp".
+	Protocol string `json:"protocol,omitempty"`
+	// RTTMicros overrides the simulated link round-trip time in
+	// microseconds (the latency knob); 0 keeps the Grid5000 default.
+	RTTMicros int `json:"rttMicros,omitempty"`
+}
+
+// Spec is a declarative campaign: the axes of the sweep plus the shared
+// training configuration. Zero-valued fields take the documented defaults
+// (see ApplyDefaults).
+type Spec struct {
+	// Name labels the campaign in reports.
+	Name string `json:"name"`
+	// Experiment is the model+dataset preset (core.Experiments).
+	Experiment string `json:"experiment"`
+	// GARs lists the aggregation rules to sweep; empty means every rule in
+	// the gar registry.
+	GARs []string `json:"gars"`
+	// Attacks lists the Byzantine attacks to sweep; "none" is the honest
+	// baseline. Empty means "none" plus every attack in the registry.
+	Attacks []string `json:"attacks"`
+	// Clusters lists the (workers, f) shapes to sweep.
+	Clusters []Cluster `json:"clusters"`
+	// Networks lists the network conditions to sweep.
+	Networks []Network `json:"networks"`
+	// Seeds lists the per-run base seeds; each (gar, attack, cluster,
+	// network) cell runs once per seed.
+	Seeds []int64 `json:"seeds"`
+	// Steps is the number of model updates per run.
+	Steps int `json:"steps"`
+	// Batch is the per-worker mini-batch size.
+	Batch int `json:"batch"`
+	// Optimizer is the update rule name.
+	Optimizer string `json:"optimizer"`
+	// LR is the learning rate.
+	LR float64 `json:"learningRate"`
+	// EvalEvery evaluates accuracy every k steps.
+	EvalEvery int `json:"evalEvery"`
+	// Threshold is the accuracy level for the steps-to-threshold readout.
+	Threshold float64 `json:"accuracyThreshold"`
+	// Parallelism bounds the engine's worker pool; 0 means NumCPU.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// Run is one expanded cell of the campaign cross-product.
+type Run struct {
+	// Index is the position in expansion order (and in Campaign.Results).
+	Index int `json:"index"`
+	// ID is the human-readable run key.
+	ID      string  `json:"id"`
+	GAR     string  `json:"gar"`
+	Attack  string  `json:"attack"`
+	Cluster Cluster `json:"cluster"`
+	Network Network `json:"network"`
+	Seed    int64   `json:"seed"`
+}
+
+// ApplyDefaults fills unset fields in place with the campaign defaults:
+// every registered GAR, "none" plus every registered attack, one 11-worker
+// f=2 cluster, the in-process perfect network, seed 1, and a short
+// features-mlp training config.
+func (s *Spec) ApplyDefaults() {
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	if s.Experiment == "" {
+		s.Experiment = "features-mlp"
+	}
+	if len(s.GARs) == 0 {
+		s.GARs = gar.Names()
+	}
+	if len(s.Attacks) == 0 {
+		s.Attacks = append([]string{AttackNone}, attack.Names()...)
+	}
+	if len(s.Clusters) == 0 {
+		s.Clusters = []Cluster{{Workers: 11, F: 2}}
+	}
+	if len(s.Networks) == 0 {
+		s.Networks = []Network{{Name: "in-process"}}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.Steps == 0 {
+		s.Steps = 20
+	}
+	if s.Batch == 0 {
+		s.Batch = 16
+	}
+	if s.Optimizer == "" {
+		s.Optimizer = "rmsprop"
+	}
+	if s.LR == 0 {
+		s.LR = 1e-3
+	}
+	if s.EvalEvery == 0 {
+		s.EvalEvery = 5
+	}
+	if s.Threshold == 0 {
+		s.Threshold = 0.5
+	}
+}
+
+// Validate checks every axis value against the registries and physical
+// bounds. It assumes ApplyDefaults has run.
+func (s *Spec) Validate() error {
+	if _, err := core.LookupExperiment(s.Experiment); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	known := map[string]bool{}
+	for _, name := range gar.Names() {
+		known[name] = true
+	}
+	for _, g := range s.GARs {
+		if !known[g] {
+			return fmt.Errorf("scenario: unknown GAR %q (available: %v)", g, gar.Names())
+		}
+	}
+	knownAtk := map[string]bool{AttackNone: true}
+	for _, name := range attack.Names() {
+		knownAtk[name] = true
+	}
+	for _, a := range s.Attacks {
+		if !knownAtk[a] {
+			return fmt.Errorf("scenario: unknown attack %q (available: none, %v)", a, attack.Names())
+		}
+	}
+	for i, c := range s.Clusters {
+		if c.Workers < 1 {
+			return fmt.Errorf("scenario: cluster %d has %d workers", i, c.Workers)
+		}
+		if c.F < 0 || c.F >= c.Workers {
+			return fmt.Errorf("scenario: cluster %d has f=%d outside [0, %d)", i, c.F, c.Workers)
+		}
+	}
+	seen := map[string]bool{}
+	for i, n := range s.Networks {
+		if n.Name == "" {
+			return fmt.Errorf("scenario: network %d has no name", i)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("scenario: duplicate network name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.DropRate < 0 || n.DropRate >= 1 {
+			return fmt.Errorf("scenario: network %q drop rate %v outside [0, 1)", n.Name, n.DropRate)
+		}
+		if n.UDPLinks < -1 {
+			return fmt.Errorf("scenario: network %q udpLinks %d", n.Name, n.UDPLinks)
+		}
+		if _, err := n.recoupPolicy(); err != nil {
+			return err
+		}
+		if _, err := n.protocol(); err != nil {
+			return err
+		}
+		if n.RTTMicros < 0 {
+			return fmt.Errorf("scenario: network %q negative rttMicros", n.Name)
+		}
+	}
+	if _, err := opt.New(s.Optimizer, opt.Fixed{Rate: s.LR}); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if s.Steps < 1 || s.Batch < 1 || s.EvalEvery < 1 {
+		return fmt.Errorf("scenario: steps=%d batch=%d evalEvery=%d must all be >= 1",
+			s.Steps, s.Batch, s.EvalEvery)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("scenario: negative parallelism")
+	}
+	return nil
+}
+
+// Expand enumerates the campaign cross-product in deterministic order:
+// GAR (outermost) → attack → cluster → network → seed.
+func (s *Spec) Expand() []Run {
+	runs := make([]Run, 0, len(s.GARs)*len(s.Attacks)*len(s.Clusters)*len(s.Networks)*len(s.Seeds))
+	for _, g := range s.GARs {
+		for _, a := range s.Attacks {
+			for _, c := range s.Clusters {
+				for _, n := range s.Networks {
+					for _, seed := range s.Seeds {
+						runs = append(runs, Run{
+							Index:   len(runs),
+							ID:      fmt.Sprintf("%s/%s/n%d-f%d/%s/seed%d", g, a, c.Workers, c.F, n.Name, seed),
+							GAR:     g,
+							Attack:  a,
+							Cluster: c,
+							Network: n,
+							Seed:    seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return runs
+}
+
+// recoupPolicy parses the network's recoup policy name (default fill-random).
+func (n Network) recoupPolicy() (transport.RecoupPolicy, error) {
+	switch n.Recoup {
+	case "", "fill-random":
+		return transport.FillRandom, nil
+	case "fill-nan":
+		return transport.FillNaN, nil
+	case "drop-gradient":
+		return transport.DropGradient, nil
+	default:
+		return 0, fmt.Errorf("scenario: network %q unknown recoup policy %q (want drop-gradient|fill-nan|fill-random)", n.Name, n.Recoup)
+	}
+}
+
+// protocol parses the network's clock-costing protocol (default tcp).
+func (n Network) protocol() (simnet.Protocol, error) {
+	switch n.Protocol {
+	case "", "tcp":
+		return simnet.TCP, nil
+	case "udp":
+		return simnet.UDP, nil
+	default:
+		return 0, fmt.Errorf("scenario: network %q unknown protocol %q (want tcp|udp)", n.Name, n.Protocol)
+	}
+}
+
+// udpLinks resolves the -1 = "all workers" convention.
+func (n Network) udpLinks(workers int) int {
+	if n.UDPLinks < 0 {
+		return workers
+	}
+	return n.UDPLinks
+}
+
+// rtt returns the configured RTT override as a duration (0 = default).
+func (n Network) rtt() time.Duration {
+	return time.Duration(n.RTTMicros) * time.Microsecond
+}
+
+// ParseSpec decodes a JSON spec, applies defaults and validates. Unknown
+// fields are rejected so a typoed axis name fails loudly instead of silently
+// sweeping the default.
+func ParseSpec(raw []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	s.ApplyDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadSpec reads and parses a JSON spec file.
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return ParseSpec(raw)
+}
+
+// SmokeSpec returns the built-in demonstration campaign used by the
+// cmd/scenario default invocation, the Makefile smoke target and the
+// determinism test: 4 GARs × (1 baseline + 3 attacks) × 2 network conditions
+// on one 11-worker f=2 cluster.
+func SmokeSpec() Spec {
+	s := Spec{
+		Name:       "smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"average", "median", "multi-krum", "bulyan"},
+		Attacks:    []string{AttackNone, "random", "reversed", "little-is-enough"},
+		Clusters:   []Cluster{{Workers: 11, F: 2}},
+		Networks: []Network{
+			{Name: "in-process"},
+			{Name: "lossy-udp", UDPLinks: -1, DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     60,
+		Batch:     32,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}

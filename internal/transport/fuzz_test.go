@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"aggregathor/internal/tensor"
+)
+
+// FuzzDecodePacket feeds arbitrary bytes to the datagram decoder under both
+// wire widths: it must never panic, and whatever it accepts must re-encode to
+// the exact input bytes (decode is the inverse of encode on its image).
+func FuzzDecodePacket(f *testing.F) {
+	for _, c := range []Codec{{Float32: true}, {Float32: false}} {
+		msg := &GradientMsg{Worker: 3, Step: 41, Grad: tensor.Vector{1.5, -2.25, math.Pi, 0}}
+		for _, p := range c.Split(msg, 64) {
+			f.Add(c.EncodePacket(&p), c.Float32)
+		}
+		empty := &GradientMsg{Worker: 0, Step: 0, Grad: tensor.Vector{}}
+		for _, p := range c.Split(empty, DefaultMTU) {
+			f.Add(c.EncodePacket(&p), c.Float32)
+		}
+	}
+	f.Add([]byte{}, true)
+	f.Add([]byte{0xA7, 0x06, 0x6E, 0xA6}, false)             // magic, truncated
+	f.Add(bytes.Repeat([]byte{0xFF}, packetHeaderLen), true) // header-sized garbage
+
+	f.Fuzz(func(t *testing.T, data []byte, float32Wire bool) {
+		c := Codec{Float32: float32Wire}
+		p, err := c.DecodePacket(data)
+		if err != nil {
+			if p != nil {
+				t.Fatal("decoder returned both a packet and an error")
+			}
+			return
+		}
+		if p.Offset < 0 || p.Offset+len(p.Coords) > p.Dim {
+			t.Fatalf("accepted packet with range [%d,%d) outside dim %d", p.Offset, p.Offset+len(p.Coords), p.Dim)
+		}
+		re := c.EncodePacket(p)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode->encode not the identity:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// FuzzDecodeGradient covers the whole-message framing the TCP path uses.
+func FuzzDecodeGradient(f *testing.F) {
+	for _, c := range []Codec{{Float32: true}, {Float32: false}} {
+		f.Add(c.EncodeGradient(&GradientMsg{Worker: 1, Step: 9, Grad: tensor.Vector{0.5, -0.5}}), c.Float32)
+		f.Add(c.EncodeGradient(&GradientMsg{Grad: tensor.Vector{}}), c.Float32)
+	}
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, data []byte, float32Wire bool) {
+		c := Codec{Float32: float32Wire}
+		m, err := c.DecodeGradient(data)
+		if err != nil {
+			return
+		}
+		re := c.EncodeGradient(m)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode->encode not the identity:\n in  %x\n out %x", data, re)
+		}
+	})
+}
+
+// TestPacketRoundTripAllWidths pins the encode→decode→encode identity on
+// structured packets (the property -fuzz explores from arbitrary bytes).
+func TestPacketRoundTripAllWidths(t *testing.T) {
+	for _, c := range []Codec{{Float32: true}, {Float32: false}} {
+		msg := &GradientMsg{Worker: 7, Step: 1 << 30, Grad: tensor.NewVector(301)}
+		for i := range msg.Grad {
+			msg.Grad[i] = float64(i) * 0.25
+		}
+		msg.Grad[0] = math.NaN()
+		msg.Grad[1] = math.Inf(1)
+		for _, p := range c.Split(msg, DefaultMTU) {
+			raw := c.EncodePacket(&p)
+			got, err := c.DecodePacket(raw)
+			if err != nil {
+				t.Fatalf("float32=%v: %v", c.Float32, err)
+			}
+			if got.Worker != p.Worker || got.Step != p.Step || got.Dim != p.Dim || got.Offset != p.Offset {
+				t.Fatalf("float32=%v: header changed: %+v vs %+v", c.Float32, got, p)
+			}
+			if !bytes.Equal(c.EncodePacket(got), raw) {
+				t.Fatalf("float32=%v: re-encode differs", c.Float32)
+			}
+		}
+	}
+}
