@@ -1,7 +1,8 @@
 GO ?= go
 SMOKE_OUT ?= /tmp/aggregathor-scenario-smoke.json
+TCP_SMOKE_OUT ?= /tmp/aggregathor-scenario-tcp-smoke.json
 
-.PHONY: all vet build test race fuzz smoke ci clean
+.PHONY: all vet build test race fuzz smoke smoke-tcp ci clean
 
 all: ci
 
@@ -19,16 +20,21 @@ race:
 
 # Short coverage of the transport codec fuzz targets beyond the seed corpus.
 fuzz:
-	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodePacket -fuzztime=10s
-	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodeGradient -fuzztime=10s
+	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodePacket -fuzztime=20s
+	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodeGradient -fuzztime=20s
 
 # Run the built-in scenario campaign (4 GARs x 3 attacks + baseline x 2
 # network conditions) and write the deterministic results JSON.
 smoke:
 	$(GO) run ./cmd/scenario -out $(SMOKE_OUT)
 
-ci: vet build race smoke
+# Run the built-in socket-distributed campaign: the same cells in-process and
+# over real localhost TCP, with byte-reproducible JSON for both.
+smoke-tcp:
+	$(GO) run ./cmd/scenario -builtin tcp-smoke -out $(TCP_SMOKE_OUT)
+
+ci: vet build race smoke smoke-tcp
 
 clean:
 	$(GO) clean ./...
-	rm -f $(SMOKE_OUT)
+	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT)

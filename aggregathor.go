@@ -14,9 +14,13 @@
 //     lossy links and security mode, returning accuracy/throughput/latency
 //     series against a simulated Grid5000-like cluster clock.
 //
-//   - Distributed mode. TCPTrain runs a real socket-distributed training
-//     session in which the server and workers speak the binary wire protocol
-//     over TCP (see also the lossy UDP endpoints in internal/transport).
+//   - Distributed mode. NewTCPCluster builds a real socket-distributed
+//     deployment driven round-by-round (server and workers speak the binary
+//     wire protocol over TCP); TCPTrain is the one-shot convenience wrapper.
+//     Experiment configs and campaign network cells select it with
+//     Backend/backend "tcp", and socket rounds reproduce the in-process
+//     trajectories bit-for-bit under identical seeds (see also the lossy UDP
+//     endpoints in internal/transport).
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-figure
 // reproduction index.
@@ -44,8 +48,17 @@ type Result = core.Result
 // Experiment is a model+dataset preset.
 type Experiment = core.Experiment
 
-// TCPTrainConfig describes a socket-distributed deployment.
+// TCPTrainConfig describes a one-shot socket-distributed deployment.
 type TCPTrainConfig = cluster.TCPTrainConfig
+
+// TCPClusterConfig describes a round-driveable socket-distributed
+// deployment.
+type TCPClusterConfig = cluster.TCPClusterConfig
+
+// TCPCluster is a running socket-distributed deployment driven
+// round-by-round (Start/Step/Model/Close) — the distributed counterpart of
+// the in-process cluster behind Run.
+type TCPCluster = cluster.TCPCluster
 
 // Run executes one experiment on the simulated cluster.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
@@ -69,6 +82,14 @@ func SmokeCampaignSpec() CampaignSpec { return scenario.SmokeSpec() }
 func TCPTrain(cfg TCPTrainConfig) ([]float64, error) {
 	params, err := cluster.TCPTrain(cfg)
 	return params, err
+}
+
+// NewTCPCluster builds a socket-distributed cluster to drive round-by-round.
+// Call Start once, Step per synchronous round, and Close to hang up. Rounds
+// are reproducible: worker sampler and attack seeds derive from Seed, and
+// gradients are aggregated in worker-id order.
+func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
+	return cluster.NewTCPCluster(cfg)
 }
 
 // Experiments lists the built-in model+dataset presets.

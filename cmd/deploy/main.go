@@ -87,6 +87,7 @@ func main() {
 		Batch:        *batch,
 		Train:        train,
 		Steps:        *steps,
+		Seed:         *seed,
 	})
 	if err != nil {
 		fatal(err)

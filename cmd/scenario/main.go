@@ -2,6 +2,7 @@
 // campaign and writes structured results.
 //
 //	go run ./cmd/scenario                      # built-in smoke campaign
+//	go run ./cmd/scenario -builtin tcp-smoke   # socket-distributed smoke sweep
 //	go run ./cmd/scenario -spec sweep.json \
 //	  -out results.json                        # spec file in, JSON out
 //	go run ./cmd/scenario -dump-spec           # print the smoke spec as JSON
@@ -27,7 +28,8 @@ import (
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "campaign spec JSON file (empty = built-in smoke campaign)")
+		specPath = flag.String("spec", "", "campaign spec JSON file (empty = a built-in campaign, see -builtin)")
+		builtin  = flag.String("builtin", "smoke", "built-in campaign used when -spec is empty: smoke | tcp-smoke")
 		outPath  = flag.String("out", "", "write campaign results JSON to this file (empty = no JSON output)")
 		summary  = flag.Bool("summary", true, "print the per-attack GAR ranking summary")
 		parallel = flag.Int("parallel", 0, "override the spec's worker-pool size (0 = spec/NumCPU)")
@@ -44,11 +46,11 @@ func main() {
 			exps = append(exps, e.Name)
 		}
 		fmt.Printf("experiments: %s\n", strings.Join(exps, ", "))
-		fmt.Printf("networks:    udpLinks (-1 = all), dropRate [0,1), recoup drop-gradient|fill-nan|fill-random, protocol tcp|udp, rttMicros\n")
+		fmt.Printf("networks:    backend in-process|tcp, udpLinks (-1 = all), dropRate [0,1), recoup drop-gradient|fill-nan|fill-random, protocol tcp|udp, rttMicros\n")
 		return
 	}
 
-	spec, err := resolveSpec(*specPath)
+	spec, err := resolveSpec(*specPath, *builtin)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,14 +85,22 @@ func main() {
 	}
 }
 
-// resolveSpec loads the spec file, or falls back to the built-in smoke
+// resolveSpec loads the spec file, or falls back to the named built-in
 // campaign when no file is given.
-func resolveSpec(path string) (*scenario.Spec, error) {
-	if path == "" {
+func resolveSpec(path, builtin string) (*scenario.Spec, error) {
+	if path != "" {
+		return scenario.LoadSpec(path)
+	}
+	switch builtin {
+	case "", "smoke":
 		s := scenario.SmokeSpec()
 		return &s, nil
+	case "tcp-smoke":
+		s := scenario.DistributedSmokeSpec()
+		return &s, nil
+	default:
+		return nil, fmt.Errorf("unknown built-in campaign %q (want smoke|tcp-smoke)", builtin)
 	}
-	return scenario.LoadSpec(path)
 }
 
 // specJSON renders a spec (with defaults applied) for -dump-spec.

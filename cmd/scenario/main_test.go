@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,12 +11,67 @@ import (
 )
 
 func TestResolveSpecDefaultsToSmoke(t *testing.T) {
-	s, err := resolveSpec("")
+	s, err := resolveSpec("", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Name != "smoke" {
 		t.Fatalf("default spec is %q, want the built-in smoke campaign", s.Name)
+	}
+}
+
+func TestResolveSpecBuiltins(t *testing.T) {
+	s, err := resolveSpec("", "tcp-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tcp-smoke" {
+		t.Fatalf("builtin tcp-smoke resolved to %q", s.Name)
+	}
+	tcp := 0
+	for _, n := range s.Networks {
+		if n.Backend == "tcp" {
+			tcp++
+		}
+	}
+	if tcp == 0 {
+		t.Fatal("tcp-smoke has no socket-distributed network cell")
+	}
+	if _, err := resolveSpec("", "no-such-campaign"); err == nil {
+		t.Fatal("unknown builtin accepted")
+	}
+}
+
+// TestTCPSpecFileRunsDeterministically is the CLI-level acceptance test for
+// the distributed campaign path: a spec file with a backend:"tcp" network
+// loads through the same entry point main uses and executes to byte-identical
+// JSON across two consecutive invocations.
+func TestTCPSpecFileRunsDeterministically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tcp.json")
+	raw := []byte(`{"name":"tcp-file","gars":["multi-krum"],"attacks":["none","reversed"],
+		"clusters":[{"workers":5,"f":1}],
+		"networks":[{"name":"tcp-distributed","backend":"tcp"}],
+		"steps":4,"batch":8,"evalEvery":2}`)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := resolveSpec(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		c, err := scenario.Execute(*spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two consecutive invocations of the tcp spec produced different JSON")
 	}
 }
 
@@ -27,14 +83,14 @@ func TestResolveSpecFromFile(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s, err := resolveSpec(path)
+	s, err := resolveSpec(path, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Name != "file-spec" || len(s.GARs) != 1 {
 		t.Fatalf("parsed %+v", s)
 	}
-	if _, err := resolveSpec(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, err := resolveSpec(filepath.Join(t.TempDir(), "missing.json"), ""); err == nil {
 		t.Fatal("missing spec file accepted")
 	}
 }

@@ -77,9 +77,8 @@ func TestTCPTrainUnknownAttackFailsLoudly(t *testing.T) {
 	factory := func() *nn.Network {
 		return nn.NewMLP(4, nil, 2, rand.New(rand.NewSource(55)))
 	}
-	// The worker goroutine exits with an error before sending anything;
-	// the server's collection phase then fails — the run must error, not
-	// hang (bounded waiting).
+	// Attack names are validated at cluster construction, before any
+	// socket is opened — the run must error, not hang (bounded waiting).
 	_, err := TCPTrain(TCPTrainConfig{
 		Addr:         "127.0.0.1:0",
 		ModelFactory: factory,

@@ -1,0 +1,577 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/data"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/ps"
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+// TCPClusterConfig describes a socket-distributed synchronous deployment:
+// one parameter server and n worker goroutines, each speaking the transport
+// wire protocol over its own TCP connection. Unlike the one-shot TCPTrain
+// helper, a TCPCluster is driven round-by-round through the ps.Trainer
+// surface, which is what lets core.runTraining and the scenario campaign
+// engine treat a socket deployment exactly like an in-process one.
+type TCPClusterConfig struct {
+	// Addr is the server bind address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// ModelFactory builds the network replicas.
+	ModelFactory func() *nn.Network
+	// Workers is n.
+	Workers int
+	// GAR aggregates each round.
+	GAR gar.GAR
+	// Optimizer applies updates.
+	Optimizer opt.Optimizer
+	// Batch is the per-worker mini-batch.
+	Batch int
+	// Train provides worker samplers.
+	Train *data.Dataset
+	// Codec selects the wire coordinate width.
+	Codec transport.Codec
+	// RoundTimeout bounds the collection phase (the paper's fix for
+	// TensorFlow waiting indefinitely on unresponsive nodes). Zero means
+	// 30 seconds.
+	RoundTimeout time.Duration
+	// Byzantine maps worker ids to attack names. A Byzantine worker forges
+	// its wire submission; omniscient attacks are honoured by recomputing
+	// the honest gradients from the shared run seed (see tcpWorker).
+	Byzantine map[int]string
+	// Unresponsive marks worker ids that receive broadcasts but never
+	// submit a gradient — the paper's unresponsive node, which vanilla
+	// TensorFlow waits on forever and AggregaThor bounds with the round
+	// timeout.
+	Unresponsive map[int]bool
+	// Seed is the run seed. Worker sampler and attack RNG seeds are
+	// derived from it with the same ps.SamplerSeed/ps.AttackSeed formulas
+	// the in-process backend uses, so identical configurations produce
+	// identical gradient streams over either backend.
+	Seed int64
+	// L1, L2 are the regularisation weights.
+	L1, L2 float64
+	// Recoup selects the policy for slots whose gradient missed the round
+	// deadline: DropGradient (default) proceeds without them, FillNaN
+	// submits a non-finite vector in their place (the GAR must contain
+	// it), FillRandom substitutes a seed-derived random vector. All three
+	// are deterministic functions of (seed, step, worker id).
+	Recoup transport.RecoupPolicy
+}
+
+// recvEvent is one message from a connection reader: a gradient, or the
+// reader's terminal error. worker is the id the connection last identified
+// itself as, -1 if it died before sending anything.
+type recvEvent struct {
+	msg    *transport.GradientMsg
+	worker int
+	err    error
+}
+
+// TCPCluster is a running socket-distributed deployment that implements
+// ps.Trainer: Start accepts the workers once, then each Step broadcasts the
+// model, collects id-slotted gradients under the round timeout, aggregates
+// and applies the optimizer.
+type TCPCluster struct {
+	cfg        TCPClusterConfig
+	ln         *transport.TCPListener
+	conns      []*transport.TCPConn
+	inbox      chan recvEvent
+	workerWG   sync.WaitGroup
+	readerWG   sync.WaitGroup
+	workerErrs chan error
+
+	server *nn.Network
+	params tensor.Vector
+	step   int
+
+	// dead marks identified workers whose connection is gone; suspected
+	// marks workers that missed a round deadline and are no longer waited
+	// for (a late gradient for the current step re-admits them).
+	dead      map[int]bool
+	suspected map[int]bool
+
+	started bool
+	closed  bool
+}
+
+var _ ps.Trainer = (*TCPCluster)(nil)
+
+// NewTCPCluster validates the configuration and builds the (not yet
+// listening) cluster. Attack names are resolved here so a misconfigured
+// deployment fails before any socket is opened.
+func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
+	if cfg.ModelFactory == nil || cfg.GAR == nil || cfg.Optimizer == nil || cfg.Train == nil {
+		return nil, errors.New("cluster: TCPCluster config missing required field")
+	}
+	if cfg.Workers <= 0 || cfg.Batch <= 0 {
+		return nil, fmt.Errorf("cluster: bad sizes workers=%d batch=%d", cfg.Workers, cfg.Batch)
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 30 * time.Second
+	}
+	if info, ok := cfg.GAR.(gar.ByzantineInfo); ok {
+		if cfg.Workers < info.MinWorkers() {
+			return nil, fmt.Errorf("cluster: %s(f=%d) needs %d workers, got %d",
+				cfg.GAR.Name(), info.F(), info.MinWorkers(), cfg.Workers)
+		}
+	}
+	for id, name := range cfg.Byzantine {
+		if id < 0 || id >= cfg.Workers {
+			return nil, fmt.Errorf("cluster: Byzantine worker id %d outside [0, %d)", id, cfg.Workers)
+		}
+		if _, err := attack.New(name); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", id, err)
+		}
+	}
+	for id := range cfg.Unresponsive {
+		if id < 0 || id >= cfg.Workers {
+			return nil, fmt.Errorf("cluster: unresponsive worker id %d outside [0, %d)", id, cfg.Workers)
+		}
+	}
+	c := &TCPCluster{
+		cfg:        cfg,
+		server:     cfg.ModelFactory(),
+		workerErrs: make(chan error, cfg.Workers),
+		dead:       map[int]bool{},
+		suspected:  map[int]bool{},
+	}
+	c.params = c.server.ParamsVector()
+	return c, nil
+}
+
+// Start binds the listener, launches the worker goroutines and accepts their
+// connections. It must be called exactly once before Step.
+func (c *TCPCluster) Start() error {
+	if c.started {
+		return errors.New("cluster: Start called twice")
+	}
+	if c.closed {
+		return errors.New("cluster: Start after Close")
+	}
+	ln, err := transport.ListenTCP(c.cfg.Addr, c.cfg.Codec)
+	if err != nil {
+		return err
+	}
+	c.ln = ln
+	for id := 0; id < c.cfg.Workers; id++ {
+		c.workerWG.Add(1)
+		go func(id int) {
+			defer c.workerWG.Done()
+			if err := runTCPClusterWorker(ln.Addr(), id, &c.cfg); err != nil {
+				c.workerErrs <- fmt.Errorf("worker %d: %w", id, err)
+			}
+		}(id)
+	}
+	// Accept every worker, but watch for worker startup failures (a dial
+	// error) so a worker that never connects fails Start instead of
+	// leaving Accept waiting forever for the nth connection.
+	type acceptResult struct {
+		conn *transport.TCPConn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, c.cfg.Workers)
+	go func() {
+		for i := 0; i < c.cfg.Workers; i++ {
+			conn, err := ln.Accept()
+			acceptCh <- acceptResult{conn: conn, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	c.conns = make([]*transport.TCPConn, 0, c.cfg.Workers)
+	for len(c.conns) < c.cfg.Workers {
+		select {
+		case r := <-acceptCh:
+			if r.err != nil {
+				c.abortStart()
+				return r.err
+			}
+			c.conns = append(c.conns, r.conn)
+		case err := <-c.workerErrs:
+			c.abortStart()
+			return fmt.Errorf("cluster: worker failed during startup: %w", err)
+		}
+	}
+	// One persistent reader per connection: gradients from every round —
+	// including late straggler submissions — funnel into the inbox, where
+	// Step slots them by self-declared worker id.
+	c.inbox = make(chan recvEvent, 2*c.cfg.Workers)
+	for _, conn := range c.conns {
+		c.readerWG.Add(1)
+		go func(conn *transport.TCPConn) {
+			defer c.readerWG.Done()
+			worker := -1
+			for {
+				msg, err := conn.RecvGradient()
+				if err != nil {
+					c.inbox <- recvEvent{worker: worker, err: err}
+					return
+				}
+				worker = msg.Worker
+				c.inbox <- recvEvent{msg: msg, worker: msg.Worker}
+			}
+		}(conn)
+	}
+	c.started = true
+	return nil
+}
+
+// abortStart tears a failed startup down completely: accepted connections
+// are closed (unblocking their workers' RecvModel), the listener is closed
+// (unblocking the accept goroutine), and the worker goroutines are waited
+// for — no leak per failed deployment, and the later deferred Close stays a
+// safe no-op.
+func (c *TCPCluster) abortStart() {
+	c.closed = true
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.ln.Close()
+	c.workerWG.Wait()
+}
+
+// Step runs one synchronous round over the sockets.
+func (c *TCPCluster) Step() (*ps.StepResult, error) {
+	if !c.started {
+		return nil, errors.New("cluster: Step before Start")
+	}
+	if c.closed {
+		return nil, errors.New("cluster: Step after Close")
+	}
+	n := c.cfg.Workers
+	res := &ps.StepResult{Step: c.step}
+
+	// Broadcast phase (parallel sends). Suspected workers are included — a
+	// straggler that recovers can rejoin the round. Sends to dead
+	// connections fail harmlessly; their readers already reported.
+	var sendWG sync.WaitGroup
+	var liveSends int64
+	var liveMu sync.Mutex
+	for _, conn := range c.conns {
+		sendWG.Add(1)
+		go func(conn *transport.TCPConn) {
+			defer sendWG.Done()
+			if err := conn.SendModel(&transport.ModelMsg{Step: c.step, Params: c.params}); err == nil {
+				liveMu.Lock()
+				liveSends++
+				liveMu.Unlock()
+			}
+		}(conn)
+	}
+	sendWG.Wait()
+	if liveSends == 0 {
+		return nil, fmt.Errorf("cluster: no live worker connections at step %d", c.step)
+	}
+
+	// Collection phase: wait for every live, unsuspected worker's gradient
+	// or the round deadline, whichever comes first. Gradients are slotted
+	// by self-declared worker id — accept order is a race, and aggregating
+	// in a scheduling-dependent order would make even all-honest
+	// distributed runs non-reproducible (floating-point summation is
+	// order-sensitive).
+	grads := make([]tensor.Vector, n)
+	losses := make([]float64, n)
+	got := make([]bool, n)
+	outstanding := func() int {
+		m := 0
+		for id := 0; id < n; id++ {
+			if !got[id] && !c.dead[id] && !c.suspected[id] {
+				m++
+			}
+		}
+		return m
+	}
+	timer := time.NewTimer(c.cfg.RoundTimeout)
+	defer timer.Stop()
+	for outstanding() > 0 {
+		select {
+		case ev := <-c.inbox:
+			if ev.err != nil {
+				if ev.worker < 0 {
+					// A connection that dies before its worker ever
+					// identified itself is a deployment failure (a healthy
+					// worker only disconnects after the server hangs up),
+					// not Byzantine behaviour to tolerate.
+					return nil, fmt.Errorf("cluster: worker connection lost before first gradient at step %d: %w",
+						c.step, c.workerFailure(ev.err))
+				}
+				c.dead[ev.worker] = true
+				continue
+			}
+			msg := ev.msg
+			if msg.Worker < 0 || msg.Worker >= n {
+				return nil, fmt.Errorf("cluster: gradient from out-of-range worker id %d", msg.Worker)
+			}
+			if msg.Step != c.step {
+				if msg.Step < c.step {
+					continue // stale straggler submission from an earlier round
+				}
+				return nil, fmt.Errorf("cluster: gradient for future step %d at step %d", msg.Step, c.step)
+			}
+			if got[msg.Worker] {
+				// A lying worker reusing another id must fail loudly, not
+				// silently shrink the honest set.
+				return nil, fmt.Errorf("cluster: duplicate gradient for worker id %d at step %d", msg.Worker, c.step)
+			}
+			got[msg.Worker] = true
+			grads[msg.Worker] = msg.Grad
+			losses[msg.Worker] = msg.Loss
+			delete(c.suspected, msg.Worker) // recovered straggler rejoins the quorum
+		case <-timer.C:
+			// Deadline: the round proceeds with whatever arrived (the
+			// paper's bounded waiting). Missing workers are suspected and
+			// not waited for in later rounds, so one unresponsive node
+			// costs one timeout, not one per round.
+			for id := 0; id < n; id++ {
+				if !got[id] && !c.dead[id] && !c.suspected[id] {
+					c.suspected[id] = true
+				}
+			}
+		}
+	}
+
+	// Recoup phase: absent slots are handled by the configured policy, a
+	// deterministic function of (seed, step, worker id).
+	received := make([]tensor.Vector, 0, n)
+	for id := 0; id < n; id++ {
+		if got[id] {
+			received = append(received, grads[id])
+			continue
+		}
+		if v := c.recoupSlot(id); v != nil {
+			received = append(received, v)
+		}
+	}
+	res.Received = len(received)
+
+	// Mean honest loss (diagnostic only; Byzantine losses are excluded).
+	var lossSum float64
+	var lossN int
+	for id := 0; id < n; id++ {
+		if !got[id] {
+			continue
+		}
+		if _, byz := c.cfg.Byzantine[id]; byz {
+			continue
+		}
+		lossSum += losses[id]
+		lossN++
+	}
+	if lossN > 0 {
+		res.Loss = lossSum / float64(lossN)
+	}
+
+	// Aggregation + descent phase, mirroring the in-process Cluster: a
+	// round whose survivor count violates the GAR's quorum is skipped, not
+	// deadlocked.
+	agg, err := c.cfg.GAR.Aggregate(received)
+	if err != nil {
+		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
+			res.Skipped = true
+			c.step++
+			return res, nil
+		}
+		return nil, fmt.Errorf("cluster: aggregation at step %d: %w", c.step, err)
+	}
+	opt.Regularize(agg, c.params, c.cfg.L1, c.cfg.L2)
+	c.cfg.Optimizer.Step(c.step, c.params, agg)
+	c.server.SetParamsVector(c.params)
+	c.step++
+	return res, nil
+}
+
+// recoupSlot produces the stand-in gradient for a slot that missed the round
+// deadline, per the configured recoup policy. nil means the slot is dropped.
+func (c *TCPCluster) recoupSlot(id int) tensor.Vector {
+	switch c.cfg.Recoup {
+	case transport.FillNaN:
+		v := tensor.NewVector(c.params.Dim())
+		for i := range v {
+			v[i] = math.NaN()
+		}
+		return v
+	case transport.FillRandom:
+		rng := rand.New(rand.NewSource(ps.RecoupSeed(c.cfg.Seed, c.step, id)))
+		v := tensor.NewVector(c.params.Dim())
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	default: // DropGradient: proceed without the slot
+		return nil
+	}
+}
+
+// workerFailure surfaces the root cause of an anonymous connection loss: the
+// failing worker goroutine reports its error just after closing its
+// connection, so wait briefly for it before falling back to the read error.
+func (c *TCPCluster) workerFailure(readErr error) error {
+	select {
+	case err := <-c.workerErrs:
+		return err
+	case <-time.After(200 * time.Millisecond):
+		return readErr
+	}
+}
+
+// Model returns the server's evaluation replica, synchronised with the
+// current parameters.
+func (c *TCPCluster) Model() *nn.Network { return c.server }
+
+// Params returns a copy of the current model parameters.
+func (c *TCPCluster) Params() tensor.Vector { return c.params.Clone() }
+
+// StepCount returns the number of rounds run so far.
+func (c *TCPCluster) StepCount() int { return c.step }
+
+// Close hangs up every worker connection, waits for the workers and readers
+// to exit, and releases the listener. It is idempotent.
+func (c *TCPCluster) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if !c.started {
+		if c.ln != nil {
+			c.ln.Close()
+		}
+		return nil
+	}
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	// Drain reader events until every reader has exited, so none blocks on
+	// a full inbox while shutting down; workers exit on the closed
+	// connection (post-shutdown read errors are expected, not surfaced).
+	done := make(chan struct{})
+	go func() {
+		c.readerWG.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-c.inbox:
+		case <-done:
+			c.workerWG.Wait()
+			return c.ln.Close()
+		}
+	}
+}
+
+// tcpWorker is one worker node's state: its model replica, seeded sampler,
+// attack RNG, and — for Byzantine workers — the omniscient oracle.
+type tcpWorker struct {
+	id      int
+	cfg     *TCPClusterConfig
+	replica *nn.Network
+	sampler data.Sampler
+	rng     *rand.Rand
+	atk     attack.Attack
+
+	// Omniscient oracle. The paper's threat model (§3.1) gives colluders
+	// every correct gradient before the server sees them (arbitrarily fast
+	// channels). Over real sockets there is nothing in flight to observe,
+	// so the adversary recomputes them instead: knowing the run seed, the
+	// dataset and the model, it replicates every honest worker's sampler
+	// and derives the exact gradients the server is about to receive. This
+	// keeps informed attacks (omniscient, little-is-enough, ...) available
+	// over the wire and bit-identical to the in-process backend.
+	peers        []int
+	peerReplica  *nn.Network
+	peerSamplers map[int]data.Sampler
+}
+
+func newTCPWorker(id int, cfg *TCPClusterConfig) (*tcpWorker, error) {
+	w := &tcpWorker{
+		id:      id,
+		cfg:     cfg,
+		replica: cfg.ModelFactory(),
+		sampler: data.NewUniformSampler(cfg.Train, ps.SamplerSeed(cfg.Seed, id)),
+		rng:     rand.New(rand.NewSource(ps.AttackSeed(cfg.Seed, id))),
+	}
+	if name, ok := cfg.Byzantine[id]; ok {
+		atk, err := attack.New(name)
+		if err != nil {
+			return nil, err
+		}
+		w.atk = atk
+		w.peerReplica = cfg.ModelFactory()
+		w.peerSamplers = map[int]data.Sampler{}
+		for p := 0; p < cfg.Workers; p++ {
+			if _, byz := cfg.Byzantine[p]; byz || cfg.Unresponsive[p] {
+				continue
+			}
+			w.peers = append(w.peers, p)
+			w.peerSamplers[p] = data.NewUniformSampler(cfg.Train, ps.SamplerSeed(cfg.Seed, p))
+		}
+	}
+	return w, nil
+}
+
+// submission computes the worker's wire submission for one broadcast: the
+// honest gradient and loss, with Byzantine workers forging through the same
+// attack.Context the in-process backend builds.
+func (w *tcpWorker) submission(model *transport.ModelMsg) *transport.GradientMsg {
+	w.replica.SetParamsVector(model.Params)
+	x, y := w.sampler.Sample(w.cfg.Batch)
+	loss, grad := w.replica.Gradient(x, y)
+	if w.atk != nil {
+		var honest []tensor.Vector
+		if len(w.peers) > 0 {
+			w.peerReplica.SetParamsVector(model.Params)
+			for _, p := range w.peers {
+				px, py := w.peerSamplers[p].Sample(w.cfg.Batch)
+				_, pg := w.peerReplica.Gradient(px, py)
+				honest = append(honest, pg.Clone())
+			}
+		}
+		grad = w.atk.Forge(&attack.Context{
+			Step:   model.Step,
+			Honest: honest,
+			Own:    grad,
+			N:      w.cfg.Workers,
+			F:      len(w.cfg.Byzantine),
+			Dim:    grad.Dim(),
+			Rng:    w.rng,
+		})
+	}
+	return &transport.GradientMsg{Worker: w.id, Step: model.Step, Loss: loss, Grad: grad}
+}
+
+// runTCPClusterWorker is the worker main loop: dial, then model→gradient
+// until the server hangs up.
+func runTCPClusterWorker(addr string, id int, cfg *TCPClusterConfig) error {
+	conn, err := transport.DialTCP(addr, cfg.Codec)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w, err := newTCPWorker(id, cfg)
+	if err != nil {
+		return err
+	}
+	for {
+		model, err := conn.RecvModel()
+		if err != nil {
+			return nil // server hung up: normal termination
+		}
+		if cfg.Unresponsive[id] {
+			continue // consume the broadcast, never answer (crashed node)
+		}
+		if err := conn.SendGradient(w.submission(model)); err != nil {
+			return err
+		}
+	}
+}

@@ -1,13 +1,9 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
-	"math/rand"
-	"sync"
 	"time"
 
-	"aggregathor/internal/attack"
 	"aggregathor/internal/data"
 	"aggregathor/internal/gar"
 	"aggregathor/internal/nn"
@@ -16,10 +12,11 @@ import (
 	"aggregathor/internal/transport"
 )
 
-// TCPTrainConfig describes a socket-distributed deployment on localhost (or
-// any reachable addresses): one parameter-server process-equivalent and n
-// worker goroutines, each speaking the transport wire protocol over its own
-// TCP connection.
+// TCPTrainConfig describes a one-shot socket-distributed training session on
+// localhost (or any reachable addresses). It is the fixed-step convenience
+// surface over TCPClusterConfig; new code that needs round-by-round control
+// (the scenario campaign engine, core's training loop) should build a
+// TCPCluster directly.
 type TCPTrainConfig struct {
 	// Addr is the server bind address ("127.0.0.1:0" picks a free port).
 	Addr string
@@ -42,192 +39,45 @@ type TCPTrainConfig struct {
 	// RoundTimeout bounds the collection phase (the paper's fix for
 	// TensorFlow waiting indefinitely on unresponsive nodes).
 	RoundTimeout time.Duration
-	// Byzantine maps worker ids to blind attack names ("random",
-	// "non-finite", "reversed", ...): those workers forge their wire
-	// submissions. The GAR must tolerate them for training to converge.
+	// Byzantine maps worker ids to attack names ("random", "non-finite",
+	// "reversed", ...): those workers forge their wire submissions. The
+	// GAR must tolerate them for training to converge.
 	Byzantine map[int]string
+	// Seed drives worker sampler and attack randomness.
+	Seed int64
 }
 
 // TCPTrain runs a fully socket-distributed synchronous training session and
 // returns the trained parameters. Workers run as goroutines with their own
 // connections; every model broadcast and gradient travels the wire.
 func TCPTrain(cfg TCPTrainConfig) (tensor.Vector, error) {
-	if cfg.ModelFactory == nil || cfg.GAR == nil || cfg.Optimizer == nil || cfg.Train == nil {
-		return nil, errors.New("cluster: TCPTrain config missing required field")
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("cluster: bad step count %d", cfg.Steps)
 	}
-	if cfg.Workers <= 0 || cfg.Batch <= 0 || cfg.Steps <= 0 {
-		return nil, fmt.Errorf("cluster: bad sizes workers=%d batch=%d steps=%d", cfg.Workers, cfg.Batch, cfg.Steps)
-	}
-	if cfg.RoundTimeout <= 0 {
-		cfg.RoundTimeout = 30 * time.Second
-	}
-	ln, err := transport.ListenTCP(cfg.Addr, cfg.Codec)
+	cl, err := NewTCPCluster(TCPClusterConfig{
+		Addr:         cfg.Addr,
+		ModelFactory: cfg.ModelFactory,
+		Workers:      cfg.Workers,
+		GAR:          cfg.GAR,
+		Optimizer:    cfg.Optimizer,
+		Batch:        cfg.Batch,
+		Train:        cfg.Train,
+		Codec:        cfg.Codec,
+		RoundTimeout: cfg.RoundTimeout,
+		Byzantine:    cfg.Byzantine,
+		Seed:         cfg.Seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer ln.Close()
-
-	// Launch workers: each dials, then loops model→gradient until the
-	// server hangs up.
-	var workerWG sync.WaitGroup
-	workerErrs := make(chan error, cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
-		workerWG.Add(1)
-		go func(id int) {
-			defer workerWG.Done()
-			if err := runTCPWorker(ln.Addr(), id, cfg); err != nil {
-				workerErrs <- fmt.Errorf("worker %d: %w", id, err)
-			}
-		}(w)
+	if err := cl.Start(); err != nil {
+		return nil, err
 	}
-
-	// Accept all workers.
-	conns := make([]*transport.TCPConn, cfg.Workers)
-	for i := range conns {
-		conn, err := ln.Accept()
-		if err != nil {
+	defer cl.Close()
+	for step := 0; step < cfg.Steps; step++ {
+		if _, err := cl.Step(); err != nil {
 			return nil, err
 		}
-		defer conn.Close()
-		conns[i] = conn
 	}
-
-	server := cfg.ModelFactory()
-	params := server.ParamsVector()
-	for step := 0; step < cfg.Steps; step++ {
-		// Broadcast phase (parallel sends).
-		var sendWG sync.WaitGroup
-		sendErrs := make(chan error, len(conns))
-		for _, conn := range conns {
-			sendWG.Add(1)
-			go func(conn *transport.TCPConn) {
-				defer sendWG.Done()
-				if err := conn.SendModel(&transport.ModelMsg{Step: step, Params: params}); err != nil {
-					sendErrs <- err
-				}
-			}(conn)
-		}
-		sendWG.Wait()
-		select {
-		case err := <-sendErrs:
-			return nil, fmt.Errorf("cluster: broadcast at step %d: %w", step, err)
-		default:
-		}
-
-		// Collection phase (parallel receives, bounded by timeout via
-		// the worker goroutines' liveness; TCP conns without deadlines
-		// here because workers are in-process and crash via errs).
-		// Gradients are slotted by the self-declared worker id, not the
-		// accept order of the connections: accept order is a race, and
-		// aggregating in a scheduling-dependent order would make even
-		// all-honest distributed runs non-reproducible (floating-point
-		// summation is order-sensitive).
-		grads := make([]tensor.Vector, cfg.Workers)
-		var recvWG sync.WaitGroup
-		var gradsMu sync.Mutex
-		recvErrs := make(chan error, len(conns))
-		for _, conn := range conns {
-			recvWG.Add(1)
-			go func(conn *transport.TCPConn) {
-				defer recvWG.Done()
-				msg, err := conn.RecvGradient()
-				if err != nil {
-					recvErrs <- err
-					return
-				}
-				if msg.Worker < 0 || msg.Worker >= cfg.Workers {
-					recvErrs <- fmt.Errorf("gradient from out-of-range worker id %d", msg.Worker)
-					return
-				}
-				gradsMu.Lock()
-				dup := grads[msg.Worker] != nil
-				if !dup {
-					grads[msg.Worker] = msg.Grad
-				}
-				gradsMu.Unlock()
-				if dup {
-					// A lying worker reusing another id must fail
-					// loudly, not silently shrink the honest set.
-					recvErrs <- fmt.Errorf("duplicate gradient for worker id %d", msg.Worker)
-				}
-			}(conn)
-		}
-		recvWG.Wait()
-		select {
-		case err := <-recvErrs:
-			return nil, fmt.Errorf("cluster: collection at step %d: %w", step, err)
-		default:
-		}
-
-		received := make([]tensor.Vector, 0, len(grads))
-		for _, g := range grads {
-			if g != nil {
-				received = append(received, g)
-			}
-		}
-		agg, err := cfg.GAR.Aggregate(received)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: aggregation at step %d: %w", step, err)
-		}
-		cfg.Optimizer.Step(step, params, agg)
-	}
-
-	// Hang up; workers exit on read error.
-	for _, conn := range conns {
-		conn.Close()
-	}
-	workerWG.Wait()
-	select {
-	case err := <-workerErrs:
-		// Post-shutdown read errors are expected; only surface errors
-		// that are not connection teardown.
-		_ = err
-	default:
-	}
-	server.SetParamsVector(params)
-	return params, nil
-}
-
-// runTCPWorker is the worker main loop: dial, then model→gradient until the
-// connection closes. A Byzantine worker forges its submission from its own
-// honest gradient (a blind attack: over real sockets the adversary cannot
-// observe the other workers' gradients in flight).
-func runTCPWorker(addr string, id int, cfg TCPTrainConfig) error {
-	conn, err := transport.DialTCP(addr, cfg.Codec)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	replica := cfg.ModelFactory()
-	sampler := data.NewUniformSampler(cfg.Train, int64(1000+id))
-	rng := rand.New(rand.NewSource(int64(7000 + id)))
-	var atk attack.Attack
-	if name, ok := cfg.Byzantine[id]; ok {
-		atk, err = attack.New(name)
-		if err != nil {
-			return err
-		}
-	}
-	for {
-		model, err := conn.RecvModel()
-		if err != nil {
-			return nil // server hung up: normal termination
-		}
-		replica.SetParamsVector(model.Params)
-		x, y := sampler.Sample(cfg.Batch)
-		_, grad := replica.Gradient(x, y)
-		if atk != nil {
-			grad = atk.Forge(&attack.Context{
-				Step: model.Step,
-				Own:  grad,
-				N:    cfg.Workers,
-				F:    len(cfg.Byzantine),
-				Dim:  grad.Dim(),
-				Rng:  rng,
-			})
-		}
-		if err := conn.SendGradient(&transport.GradientMsg{Worker: id, Step: model.Step, Grad: grad}); err != nil {
-			return err
-		}
-	}
+	return cl.Params(), nil
 }

@@ -126,10 +126,24 @@ func LookupExperiment(name string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q (available: %v)", name, names)
 }
 
+// Backend names for Config.Backend.
+const (
+	// BackendInProcess is the default simulated deployment: workers are
+	// method calls on in-process replicas, links are transport.Pipe values.
+	BackendInProcess = "in-process"
+	// BackendTCP is the socket-distributed deployment: workers are
+	// goroutines speaking the binary wire protocol over real localhost TCP
+	// connections (cluster.TCPCluster), driven by the same training loop.
+	BackendTCP = "tcp"
+)
+
 // Config is a full experiment description (the runner.py command line).
 type Config struct {
 	// Experiment is the model+dataset preset name.
 	Experiment string
+	// Backend selects the deployment substrate: "" or "in-process" for the
+	// simulated cluster, "tcp" for the socket-distributed cluster.
+	Backend string
 	// Aggregator is the GAR name ("average", "median", "multi-krum",
 	// "bulyan", ... or "draco" for the comparison baseline).
 	Aggregator string
@@ -170,6 +184,10 @@ type Config struct {
 	// (the latency axis of scenario sweeps); zero keeps the Grid5000
 	// default.
 	RTT time.Duration
+	// RoundTimeout bounds the collection phase of a tcp-backend round
+	// (real wall-clock time, not the simulated clock); zero keeps the
+	// cluster default of 30 seconds.
+	RoundTimeout time.Duration
 	// Seed drives all randomness.
 	Seed int64
 	// MeasureAgg measures real GAR wall time for the clock (one
@@ -213,6 +231,9 @@ type Result struct {
 	// ResumedFromStep is the checkpointed step index the run warm-started
 	// from (0 for a fresh run).
 	ResumedFromStep int
+	// ModelDim is the trained model's parameter count (the dimension real
+	// aggregation wall-time measurements should use).
+	ModelDim int
 }
 
 // applyDefaults fills unset fields with the paper's evaluation defaults.
@@ -257,7 +278,7 @@ func buildWorkers(cfg Config, train *data.Dataset) ([]ps.WorkerConfig, error) {
 	}
 	workers := make([]ps.WorkerConfig, cfg.Workers)
 	for i := range workers {
-		var sampler data.Sampler = data.NewUniformSampler(train, cfg.Seed+int64(i)*31+1)
+		var sampler data.Sampler = data.NewUniformSampler(train, ps.SamplerSeed(cfg.Seed, i))
 		if corrupt[i] {
 			sampler = &data.CorruptedSampler{
 				Inner: sampler,
@@ -291,6 +312,13 @@ func buildWorkers(cfg Config, train *data.Dataset) ([]ps.WorkerConfig, error) {
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg.applyDefaults()
+	switch cfg.Backend {
+	case "", BackendInProcess:
+	case BackendTCP:
+		return runTCP(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (want %s|%s)", cfg.Backend, BackendInProcess, BackendTCP)
+	}
 	if cfg.Aggregator == "draco" {
 		return runDraco(cfg)
 	}
@@ -343,29 +371,10 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Time model: paper-scale cluster with this experiment's cost
-	// profile; aggregation time measured on real GAR execution or taken
-	// from the analytic model.
-	sim := simnet.Grid5000(cfg.Workers, exp.CostDim)
-	sim.FlopsPerSample = exp.FlopsPerSample
-	sim.Protocol = cfg.Protocol
-	sim.DropRate = cfg.DropRate
-	if cfg.RTT > 0 {
-		sim.RTT = cfg.RTT
+	round, err := simulatedRound(cfg, exp, rule, aggName, tfBaseline)
+	if err != nil {
+		return nil, err
 	}
-	switch {
-	case tfBaseline:
-		sim.AggTime = 0
-	case cfg.MeasureAgg:
-		measured, err := simnet.MeasureAggregation(rule, cfg.Workers, exp.CostDim, 1, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		sim.AggTime = measured
-	default:
-		sim.AggTime = simnet.ModelAggregation(aggName, cfg.Workers, cfg.F, exp.CostDim)
-	}
-	round := sim.SimulateRound(cfg.Batch)
 
 	res := &Result{Config: cfg}
 	res.seriesNames(cfg.Aggregator)
@@ -399,6 +408,35 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// simulatedRound builds the paper-scale time model for one experiment — this
+// experiment's cost profile on the Grid5000-like cluster, with aggregation
+// time measured on real GAR execution or taken from the analytic model — and
+// simulates one round. Both the in-process and the tcp backend cost their
+// simulated clock through this one function, so identical configurations get
+// identical time series on either backend.
+func simulatedRound(cfg Config, exp Experiment, rule gar.GAR, aggName string, tfBaseline bool) (simnet.Round, error) {
+	sim := simnet.Grid5000(cfg.Workers, exp.CostDim)
+	sim.FlopsPerSample = exp.FlopsPerSample
+	sim.Protocol = cfg.Protocol
+	sim.DropRate = cfg.DropRate
+	if cfg.RTT > 0 {
+		sim.RTT = cfg.RTT
+	}
+	switch {
+	case tfBaseline:
+		sim.AggTime = 0
+	case cfg.MeasureAgg:
+		measured, err := simnet.MeasureAggregation(rule, cfg.Workers, exp.CostDim, 1, cfg.Seed)
+		if err != nil {
+			return simnet.Round{}, err
+		}
+		sim.AggTime = measured
+	default:
+		sim.AggTime = simnet.ModelAggregation(aggName, cfg.Workers, cfg.F, exp.CostDim)
+	}
+	return sim.SimulateRound(cfg.Batch), nil
 }
 
 // runReplicated executes the §6 replicated-server deployment: R server

@@ -26,6 +26,7 @@ type loopHooks struct {
 // single training loop behind every deployment flavour (plain, replicated,
 // Draco) and the entry point the scenario campaign engine reuses.
 func runTraining(cfg Config, t ps.Trainer, test *data.Dataset, round simnet.Round, res *Result, hooks loopHooks) error {
+	res.ModelDim = t.Model().NumParams()
 	var clock simnet.Clock
 	evaluate := func(step int, loss float64) {
 		acc := t.Model().Accuracy(test.X, test.Y)

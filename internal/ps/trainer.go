@@ -4,9 +4,11 @@ import "aggregathor/internal/nn"
 
 // Trainer is the minimal surface a training driver needs from an assembled
 // deployment: advance one synchronous round and evaluate the current model.
-// Every cluster flavour in this package implements it, which is what lets
-// one loop (core's runTraining, the scenario campaign engine) drive a plain
-// parameter server, a replicated server or a Draco deployment uniformly.
+// Every cluster flavour in this package implements it — as does the
+// socket-distributed cluster.TCPCluster — which is what lets one loop
+// (core's runTraining, the scenario campaign engine) drive a plain parameter
+// server, a replicated server, a Draco deployment or a real TCP deployment
+// uniformly.
 type Trainer interface {
 	// Step runs one synchronous round.
 	Step() (*StepResult, error)

@@ -40,8 +40,15 @@ type Cluster struct {
 // Network is one point on the network-condition axis.
 type Network struct {
 	// Name labels the condition in run IDs and reports ("in-process",
-	// "lossy-udp", ...). Required and unique within a spec.
+	// "lossy-udp", "tcp-distributed", ...). Required and unique within a
+	// spec.
 	Name string `json:"name"`
+	// Backend selects the deployment substrate for this cell: "" or
+	// "in-process" runs the simulated cluster, "tcp" runs a real
+	// socket-distributed cluster.TCPCluster on localhost (every model
+	// broadcast and gradient travels the wire). The tcp backend is
+	// incompatible with udpLinks.
+	Backend string `json:"backend,omitempty"`
 	// UDPLinks is how many worker links run over the in-memory lossy UDP
 	// pipe; -1 means every link. 0 (the default) is the in-process perfect
 	// transport.
@@ -93,6 +100,11 @@ type Spec struct {
 	Threshold float64 `json:"accuracyThreshold"`
 	// Parallelism bounds the engine's worker pool; 0 means NumCPU.
 	Parallelism int `json:"parallelism,omitempty"`
+	// IncludeWallTime opts into the per-run measured aggregation wall-time
+	// column (Result.MeasuredAggWallNS). The measurement is real host wall
+	// clock and therefore NOT deterministic: it is excluded from the
+	// byte-reproducibility guarantee, which covers every other field.
+	IncludeWallTime bool `json:"includeWallTime,omitempty"`
 }
 
 // Run is one expanded cell of the campaign cross-product.
@@ -195,6 +207,12 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: duplicate network name %q", n.Name)
 		}
 		seen[n.Name] = true
+		if _, err := n.backend(); err != nil {
+			return err
+		}
+		if n.Backend == core.BackendTCP && n.UDPLinks != 0 {
+			return fmt.Errorf("scenario: network %q combines the tcp backend with udpLinks", n.Name)
+		}
 		if n.DropRate < 0 || n.DropRate >= 1 {
 			return fmt.Errorf("scenario: network %q drop rate %v outside [0, 1)", n.Name, n.DropRate)
 		}
@@ -248,6 +266,20 @@ func (s *Spec) Expand() []Run {
 		}
 	}
 	return runs
+}
+
+// backend parses the network's deployment substrate (default in-process).
+// The returned string is the core.Config.Backend value for the cell.
+func (n Network) backend() (string, error) {
+	switch n.Backend {
+	case "", core.BackendInProcess:
+		return core.BackendInProcess, nil
+	case core.BackendTCP:
+		return core.BackendTCP, nil
+	default:
+		return "", fmt.Errorf("scenario: network %q unknown backend %q (want %s|%s)",
+			n.Name, n.Backend, core.BackendInProcess, core.BackendTCP)
+	}
 }
 
 // recoupPolicy parses the network's recoup policy name (default fill-random).
@@ -333,6 +365,33 @@ func SmokeSpec() Spec {
 		Seeds:     []int64{1},
 		Steps:     60,
 		Batch:     32,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// DistributedSmokeSpec returns the built-in socket-distributed demonstration
+// campaign (cmd/scenario -builtin tcp-smoke): the same cells swept both
+// in-process and over real localhost TCP sockets, so the two backends'
+// trajectories can be diffed cell-for-cell — identical seeds must produce
+// identical loss/accuracy numbers on the perfect-network cells.
+func DistributedSmokeSpec() Spec {
+	s := Spec{
+		Name:       "tcp-smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"median", "multi-krum"},
+		Attacks:    []string{AttackNone, "reversed", "non-finite"},
+		Clusters:   []Cluster{{Workers: 7, F: 1}},
+		Networks: []Network{
+			{Name: "in-process"},
+			{Name: "tcp-distributed", Backend: "tcp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     30,
+		Batch:     16,
 		LR:        5e-3,
 		EvalEvery: 10,
 		Threshold: 0.25,

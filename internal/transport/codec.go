@@ -20,8 +20,11 @@ import (
 const (
 	// Magic tags every AggregaThor frame and datagram.
 	Magic = 0xA66E06A7
-	// Version is the current wire version.
-	Version = 1
+	// Version is the current wire version. Version 2 inserted the 8-byte
+	// loss metadata field into the gradient frame; a version-1 peer is
+	// rejected with a clean version-mismatch error instead of misparsing
+	// the frame.
+	Version = 2
 
 	msgModel    = 1
 	msgGradient = 2
@@ -34,7 +37,12 @@ var ErrBadFrame = errors.New("transport: malformed frame")
 type GradientMsg struct {
 	Worker int
 	Step   int
-	Grad   tensor.Vector
+	// Loss is the worker's training loss on the mini-batch that produced
+	// the gradient — diagnostic metadata the server aggregates into the
+	// per-round mean honest loss. It travels at full 8-byte width even on
+	// the float32 coordinate wire (it is metadata, like Step).
+	Loss float64
+	Grad tensor.Vector
 }
 
 // ModelMsg is the server's parameter broadcast for one step.
@@ -83,22 +91,24 @@ func (c Codec) getCoords(src []byte, v tensor.Vector) {
 }
 
 // EncodeGradient renders a gradient message as a framed byte slice:
-// magic u32 | version u8 | type u8 | worker u32 | step u64 | dim u32 | coords.
+// magic u32 | version u8 | type u8 | worker u32 | step u64 | loss f64 |
+// dim u32 | coords.
 func (c Codec) EncodeGradient(m *GradientMsg) []byte {
-	buf := make([]byte, 4+1+1+4+8+4+len(m.Grad)*c.BytesPerCoord())
+	buf := make([]byte, 4+1+1+4+8+8+4+len(m.Grad)*c.BytesPerCoord())
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
 	buf[5] = msgGradient
 	binary.LittleEndian.PutUint32(buf[6:], uint32(m.Worker))
 	binary.LittleEndian.PutUint64(buf[10:], uint64(m.Step))
-	binary.LittleEndian.PutUint32(buf[18:], uint32(len(m.Grad)))
-	c.putCoords(buf[22:], m.Grad)
+	binary.LittleEndian.PutUint64(buf[18:], math.Float64bits(m.Loss))
+	binary.LittleEndian.PutUint32(buf[26:], uint32(len(m.Grad)))
+	c.putCoords(buf[30:], m.Grad)
 	return buf
 }
 
 // DecodeGradient parses EncodeGradient output.
 func (c Codec) DecodeGradient(buf []byte) (*GradientMsg, error) {
-	if len(buf) < 22 {
+	if len(buf) < 30 {
 		return nil, fmt.Errorf("%w: gradient frame too short (%d bytes)", ErrBadFrame, len(buf))
 	}
 	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
@@ -110,17 +120,18 @@ func (c Codec) DecodeGradient(buf []byte) (*GradientMsg, error) {
 	if buf[5] != msgGradient {
 		return nil, fmt.Errorf("%w: not a gradient frame (type %d)", ErrBadFrame, buf[5])
 	}
-	dim := int(binary.LittleEndian.Uint32(buf[18:]))
-	want := 22 + dim*c.BytesPerCoord()
+	dim := int(binary.LittleEndian.Uint32(buf[26:]))
+	want := 30 + dim*c.BytesPerCoord()
 	if len(buf) != want {
 		return nil, fmt.Errorf("%w: gradient frame %d bytes, want %d", ErrBadFrame, len(buf), want)
 	}
 	m := &GradientMsg{
 		Worker: int(binary.LittleEndian.Uint32(buf[6:])),
 		Step:   int(binary.LittleEndian.Uint64(buf[10:])),
+		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(buf[18:])),
 		Grad:   tensor.NewVector(dim),
 	}
-	c.getCoords(buf[22:], m.Grad)
+	c.getCoords(buf[30:], m.Grad)
 	return m, nil
 }
 

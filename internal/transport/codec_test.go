@@ -21,12 +21,12 @@ func randVec(rng *rand.Rand, d int) tensor.Vector {
 func TestGradientRoundTripFloat64(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	c := Codec{}
-	m := &GradientMsg{Worker: 7, Step: 42, Grad: randVec(rng, 100)}
+	m := &GradientMsg{Worker: 7, Step: 42, Loss: 0.734375, Grad: randVec(rng, 100)}
 	got, err := c.DecodeGradient(c.EncodeGradient(m))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Worker != 7 || got.Step != 42 {
+	if got.Worker != 7 || got.Step != 42 || got.Loss != 0.734375 {
 		t.Fatalf("header mismatch: %+v", got)
 	}
 	for i := range m.Grad {
@@ -39,10 +39,13 @@ func TestGradientRoundTripFloat64(t *testing.T) {
 func TestGradientRoundTripFloat32(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	c := Codec{Float32: true}
-	m := &GradientMsg{Worker: 1, Step: 2, Grad: randVec(rng, 50)}
+	m := &GradientMsg{Worker: 1, Step: 2, Loss: 1.0 / 3.0, Grad: randVec(rng, 50)}
 	got, err := c.DecodeGradient(c.EncodeGradient(m))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got.Loss != m.Loss {
+		t.Fatalf("loss metadata must stay 8-byte even on the float32 wire: %v vs %v", got.Loss, m.Loss)
 	}
 	for i := range m.Grad {
 		if math.Abs(got.Grad[i]-m.Grad[i]) > 1e-6*(1+math.Abs(m.Grad[i])) {
@@ -86,7 +89,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{1, 2, 3},
-		make([]byte, 22), // zero magic
+		make([]byte, 30), // zero magic
 	}
 	for i, buf := range cases {
 		if _, err := c.DecodeGradient(buf); !errors.Is(err, ErrBadFrame) {
