@@ -1,8 +1,9 @@
 GO ?= go
 SMOKE_OUT ?= /tmp/aggregathor-scenario-smoke.json
 TCP_SMOKE_OUT ?= /tmp/aggregathor-scenario-tcp-smoke.json
+UDP_SMOKE_OUT ?= /tmp/aggregathor-scenario-udp-smoke.json
 
-.PHONY: all vet build test race fuzz smoke smoke-tcp ci clean
+.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp ci clean
 
 all: ci
 
@@ -18,10 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short coverage of the transport codec fuzz targets beyond the seed corpus.
+# Short coverage of the transport codec and reassembler fuzz targets beyond
+# the seed corpus.
 fuzz:
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodePacket -fuzztime=20s
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodeGradient -fuzztime=20s
+	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzReassembler -fuzztime=20s
 
 # Run the built-in scenario campaign (4 GARs x 3 attacks + baseline x 2
 # network conditions) and write the deterministic results JSON.
@@ -33,8 +36,14 @@ smoke:
 smoke-tcp:
 	$(GO) run ./cmd/scenario -builtin tcp-smoke -out $(TCP_SMOKE_OUT)
 
-ci: vet build race smoke smoke-tcp
+# Run the built-in lossy-datagram campaign: the same cells in-process, over
+# real UDP sockets on a perfect link, and at 10% seeded packet loss — all
+# with byte-reproducible JSON.
+smoke-udp:
+	$(GO) run ./cmd/scenario -builtin udp-smoke -out $(UDP_SMOKE_OUT)
+
+ci: vet build race smoke smoke-tcp smoke-udp
 
 clean:
 	$(GO) clean ./...
-	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT)
+	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT)

@@ -17,10 +17,15 @@
 //   - Distributed mode. NewTCPCluster builds a real socket-distributed
 //     deployment driven round-by-round (server and workers speak the binary
 //     wire protocol over TCP); TCPTrain is the one-shot convenience wrapper.
-//     Experiment configs and campaign network cells select it with
-//     Backend/backend "tcp", and socket rounds reproduce the in-process
-//     trajectories bit-for-bit under identical seeds (see also the lossy UDP
-//     endpoints in internal/transport).
+//     NewUDPCluster builds the paper's lossyMPI deployment instead:
+//     gradients travel real UDP datagrams with seeded per-packet drop
+//     injection, and the coordinates lost in flight are recouped by a §3.3
+//     policy for the Byzantine-resilient GAR to absorb. Experiment configs
+//     and campaign network cells select them with Backend/backend "tcp" or
+//     "udp"; socket rounds reproduce the in-process trajectories
+//     bit-for-bit under identical seeds (at drop rate 0 for udp), and lossy
+//     udp rounds stay byte-reproducible because the drop schedule and
+//     recoup values are pure functions of (seed, step, worker).
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-figure
 // reproduction index.
@@ -60,6 +65,14 @@ type TCPClusterConfig = cluster.TCPClusterConfig
 // the in-process cluster behind Run.
 type TCPCluster = cluster.TCPCluster
 
+// UDPClusterConfig describes a round-driveable lossy-datagram deployment
+// (the paper's lossyMPI channel over real UDP sockets).
+type UDPClusterConfig = cluster.UDPClusterConfig
+
+// UDPCluster is a running lossy-datagram deployment driven round-by-round
+// (Start/Step/Model/Close).
+type UDPCluster = cluster.UDPCluster
+
 // Run executes one experiment on the simulated cluster.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
@@ -90,6 +103,15 @@ func TCPTrain(cfg TCPTrainConfig) ([]float64, error) {
 // gradients are aggregated in worker-id order.
 func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
 	return cluster.NewTCPCluster(cfg)
+}
+
+// NewUDPCluster builds a lossy-datagram cluster to drive round-by-round:
+// gradients are chunked into UDP packets, DropRate of them are dropped per a
+// (Seed, step, worker)-keyed schedule, and the lost coordinates are recouped
+// by the configured §3.3 policy. Lossy rounds are deterministic: the same
+// configuration always produces bit-identical parameters.
+func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
+	return cluster.NewUDPCluster(cfg)
 }
 
 // Experiments lists the built-in model+dataset presets.

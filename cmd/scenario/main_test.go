@@ -37,8 +37,60 @@ func TestResolveSpecBuiltins(t *testing.T) {
 	if tcp == 0 {
 		t.Fatal("tcp-smoke has no socket-distributed network cell")
 	}
+	s, err = resolveSpec("", "udp-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "udp-smoke" {
+		t.Fatalf("builtin udp-smoke resolved to %q", s.Name)
+	}
+	udp, lossy := 0, 0
+	for _, n := range s.Networks {
+		if n.Backend == "udp" {
+			udp++
+			if n.DropRate > 0 {
+				lossy++
+			}
+		}
+	}
+	if udp == 0 || lossy == 0 {
+		t.Fatalf("udp-smoke has %d udp cells (%d lossy), want both > 0", udp, lossy)
+	}
 	if _, err := resolveSpec("", "no-such-campaign"); err == nil {
 		t.Fatal("unknown builtin accepted")
+	}
+}
+
+// TestUDPSpecFileRunsDeterministically is the CLI-level acceptance test for
+// the lossy-datagram campaign path: a spec file with a backend:"udp" network
+// at 10% drop loads through the same entry point main uses and executes to
+// byte-identical JSON across two consecutive invocations.
+func TestUDPSpecFileRunsDeterministically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "udp.json")
+	raw := []byte(`{"name":"udp-file","gars":["multi-krum"],"attacks":["none","reversed"],
+		"clusters":[{"workers":5,"f":1}],
+		"networks":[{"name":"udp-lossy","backend":"udp","dropRate":0.1,"recoup":"fill-random","protocol":"udp"}],
+		"steps":4,"batch":8,"evalEvery":2}`)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := resolveSpec(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		c, err := scenario.Execute(*spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("two consecutive invocations of the udp spec produced different JSON")
 	}
 }
 

@@ -470,84 +470,18 @@ func (c *TCPCluster) Close() error {
 	}
 }
 
-// tcpWorker is one worker node's state: its model replica, seeded sampler,
-// attack RNG, and — for Byzantine workers — the omniscient oracle.
-type tcpWorker struct {
-	id      int
-	cfg     *TCPClusterConfig
-	replica *nn.Network
-	sampler data.Sampler
-	rng     *rand.Rand
-	atk     attack.Attack
-
-	// Omniscient oracle. The paper's threat model (§3.1) gives colluders
-	// every correct gradient before the server sees them (arbitrarily fast
-	// channels). Over real sockets there is nothing in flight to observe,
-	// so the adversary recomputes them instead: knowing the run seed, the
-	// dataset and the model, it replicates every honest worker's sampler
-	// and derives the exact gradients the server is about to receive. This
-	// keeps informed attacks (omniscient, little-is-enough, ...) available
-	// over the wire and bit-identical to the in-process backend.
-	peers        []int
-	peerReplica  *nn.Network
-	peerSamplers map[int]data.Sampler
-}
-
-func newTCPWorker(id int, cfg *TCPClusterConfig) (*tcpWorker, error) {
-	w := &tcpWorker{
-		id:      id,
-		cfg:     cfg,
-		replica: cfg.ModelFactory(),
-		sampler: data.NewUniformSampler(cfg.Train, ps.SamplerSeed(cfg.Seed, id)),
-		rng:     rand.New(rand.NewSource(ps.AttackSeed(cfg.Seed, id))),
+// workerSpec extracts the backend-independent worker description (shared
+// with the UDP backend — see worker.go).
+func (cfg *TCPClusterConfig) workerSpec() workerSpec {
+	return workerSpec{
+		ModelFactory: cfg.ModelFactory,
+		Train:        cfg.Train,
+		Batch:        cfg.Batch,
+		Workers:      cfg.Workers,
+		Byzantine:    cfg.Byzantine,
+		Unresponsive: cfg.Unresponsive,
+		Seed:         cfg.Seed,
 	}
-	if name, ok := cfg.Byzantine[id]; ok {
-		atk, err := attack.New(name)
-		if err != nil {
-			return nil, err
-		}
-		w.atk = atk
-		w.peerReplica = cfg.ModelFactory()
-		w.peerSamplers = map[int]data.Sampler{}
-		for p := 0; p < cfg.Workers; p++ {
-			if _, byz := cfg.Byzantine[p]; byz || cfg.Unresponsive[p] {
-				continue
-			}
-			w.peers = append(w.peers, p)
-			w.peerSamplers[p] = data.NewUniformSampler(cfg.Train, ps.SamplerSeed(cfg.Seed, p))
-		}
-	}
-	return w, nil
-}
-
-// submission computes the worker's wire submission for one broadcast: the
-// honest gradient and loss, with Byzantine workers forging through the same
-// attack.Context the in-process backend builds.
-func (w *tcpWorker) submission(model *transport.ModelMsg) *transport.GradientMsg {
-	w.replica.SetParamsVector(model.Params)
-	x, y := w.sampler.Sample(w.cfg.Batch)
-	loss, grad := w.replica.Gradient(x, y)
-	if w.atk != nil {
-		var honest []tensor.Vector
-		if len(w.peers) > 0 {
-			w.peerReplica.SetParamsVector(model.Params)
-			for _, p := range w.peers {
-				px, py := w.peerSamplers[p].Sample(w.cfg.Batch)
-				_, pg := w.peerReplica.Gradient(px, py)
-				honest = append(honest, pg.Clone())
-			}
-		}
-		grad = w.atk.Forge(&attack.Context{
-			Step:   model.Step,
-			Honest: honest,
-			Own:    grad,
-			N:      w.cfg.Workers,
-			F:      len(w.cfg.Byzantine),
-			Dim:    grad.Dim(),
-			Rng:    w.rng,
-		})
-	}
-	return &transport.GradientMsg{Worker: w.id, Step: model.Step, Loss: loss, Grad: grad}
 }
 
 // runTCPClusterWorker is the worker main loop: dial, then model→gradient
@@ -558,7 +492,7 @@ func runTCPClusterWorker(addr string, id int, cfg *TCPClusterConfig) error {
 		return err
 	}
 	defer conn.Close()
-	w, err := newTCPWorker(id, cfg)
+	w, err := newClusterWorker(id, cfg.workerSpec())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,587 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/data"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/ps"
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+// UDPClusterConfig describes a socket-distributed synchronous deployment
+// whose gradients travel real UDP datagrams — the lossyMPI deployment of
+// §3.3: one parameter server, n worker goroutines, every gradient chunked
+// into MTU-sized packets, and an artificial per-packet drop schedule standing
+// in for the paper's tc-based loss injection. Lost coordinates are recouped
+// by the configured policy and absorbed by the Byzantine-resilient GAR
+// upstairs, which is the paper's headline systems bet.
+type UDPClusterConfig struct {
+	// Addr is the server's gradient-endpoint bind address ("127.0.0.1:0"
+	// picks a free port). Each worker additionally binds its own model
+	// endpoint on a kernel-chosen port.
+	Addr string
+	// ModelFactory builds the network replicas.
+	ModelFactory func() *nn.Network
+	// Workers is n.
+	Workers int
+	// GAR aggregates each round.
+	GAR gar.GAR
+	// Optimizer applies updates.
+	Optimizer opt.Optimizer
+	// Batch is the per-worker mini-batch.
+	Batch int
+	// Train provides worker samplers.
+	Train *data.Dataset
+	// Codec selects the wire coordinate width (zero value = lossless
+	// float64, which is what the bit-for-bit parity guarantee needs).
+	Codec transport.Codec
+	// MTU is the datagram payload budget; zero means transport.DefaultMTU.
+	MTU int
+	// RoundTimeout bounds the collection phase. Zero means 30 seconds. With
+	// artificial loss the deadline almost never fires: the drop schedule is
+	// a shared pure function of (seed, step, worker), so the server knows
+	// exactly which packets will never arrive and recoups a slot the moment
+	// its surviving packets are all in. The timeout only pays for genuinely
+	// unresponsive workers, as on the TCP backend.
+	RoundTimeout time.Duration
+	// DropRate is the per-packet artificial loss probability in [0, 1),
+	// applied to worker→server gradient datagrams. Model broadcasts travel
+	// loss-free (the paper treats an unreliable model channel as a separate
+	// extension, footnote 12). Which packets drop is decided by
+	// udpDropSchedule — keyed on (Seed, step, worker), never on a
+	// per-sender stream — so lossy rounds are deterministic by
+	// construction.
+	DropRate float64
+	// Recoup selects the policy for coordinates lost in flight and for
+	// slots that miss the round deadline: DropGradient (default) discards
+	// the gradient, FillNaN marks lost coordinates NaN (the GAR must
+	// contain them), FillRandom substitutes seed-derived random values —
+	// the AggregaThor way. All three are deterministic functions of
+	// (Seed, step, worker id).
+	Recoup transport.RecoupPolicy
+	// Byzantine maps worker ids to attack names (same semantics as the TCP
+	// backend; omniscient attacks recompute honest peers from the shared
+	// seed).
+	Byzantine map[int]string
+	// Unresponsive marks worker ids that receive broadcasts but never
+	// submit a gradient.
+	Unresponsive map[int]bool
+	// Seed is the run seed; sampler, attack, drop-schedule and recoup
+	// randomness all derive from it through the shared ps formulas.
+	Seed int64
+	// L1, L2 are the regularisation weights.
+	L1, L2 float64
+}
+
+// udpWorkerIdleTimeout bounds a worker's wait for the next model broadcast.
+// The normal exit path is the server closing the worker's model socket; the
+// timeout is a backstop against a server that vanished without Close.
+const udpWorkerIdleTimeout = time.Hour
+
+// UDPCluster is a running lossy-datagram deployment that implements
+// ps.Trainer: Start binds the sockets and launches the workers, then each
+// Step broadcasts the model, collects id-slotted gradients packet by packet
+// through the transport reassembler, recoups scheduled losses per the
+// policy, aggregates and applies the optimizer.
+type UDPCluster struct {
+	cfg          UDPClusterConfig
+	recv         *transport.UDPReceiver   // gradient endpoint (server)
+	modelRecvs   []*transport.UDPReceiver // per-worker model endpoints
+	modelSenders []*transport.UDPSender   // server → worker model channels
+	gradSenders  []*transport.UDPSender   // worker → server gradient channels
+	workerWG     sync.WaitGroup
+	workerErrs   chan error
+
+	server *nn.Network
+	params tensor.Vector
+	step   int
+
+	// suspected marks workers that missed a round deadline and are no
+	// longer waited for (a completed gradient for the current step
+	// re-admits them).
+	suspected map[int]bool
+
+	started bool
+	closed  bool
+}
+
+var _ ps.Trainer = (*UDPCluster)(nil)
+
+// NewUDPCluster validates the configuration and builds the (not yet
+// listening) cluster.
+func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
+	if cfg.ModelFactory == nil || cfg.GAR == nil || cfg.Optimizer == nil || cfg.Train == nil {
+		return nil, errors.New("cluster: UDPCluster config missing required field")
+	}
+	if cfg.Workers <= 0 || cfg.Batch <= 0 {
+		return nil, fmt.Errorf("cluster: bad sizes workers=%d batch=%d", cfg.Workers, cfg.Batch)
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return nil, fmt.Errorf("cluster: drop rate %v out of [0,1)", cfg.DropRate)
+	}
+	if cfg.MTU == 0 {
+		cfg.MTU = transport.DefaultMTU
+	}
+	if cfg.MTU < 0 || cfg.MTU > 65507 {
+		return nil, fmt.Errorf("cluster: mtu %d outside (0, 65507]", cfg.MTU)
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 30 * time.Second
+	}
+	if info, ok := cfg.GAR.(gar.ByzantineInfo); ok {
+		if cfg.Workers < info.MinWorkers() {
+			return nil, fmt.Errorf("cluster: %s(f=%d) needs %d workers, got %d",
+				cfg.GAR.Name(), info.F(), info.MinWorkers(), cfg.Workers)
+		}
+	}
+	for id, name := range cfg.Byzantine {
+		if id < 0 || id >= cfg.Workers {
+			return nil, fmt.Errorf("cluster: Byzantine worker id %d outside [0, %d)", id, cfg.Workers)
+		}
+		if _, err := attack.New(name); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d: %w", id, err)
+		}
+	}
+	for id := range cfg.Unresponsive {
+		if id < 0 || id >= cfg.Workers {
+			return nil, fmt.Errorf("cluster: unresponsive worker id %d outside [0, %d)", id, cfg.Workers)
+		}
+	}
+	c := &UDPCluster{
+		cfg:        cfg,
+		server:     cfg.ModelFactory(),
+		workerErrs: make(chan error, cfg.Workers),
+		suspected:  map[int]bool{},
+	}
+	c.params = c.server.ParamsVector()
+	return c, nil
+}
+
+// workerSpec extracts the backend-independent worker description (shared
+// with the TCP backend — see worker.go).
+func (cfg *UDPClusterConfig) workerSpec() workerSpec {
+	return workerSpec{
+		ModelFactory: cfg.ModelFactory,
+		Train:        cfg.Train,
+		Batch:        cfg.Batch,
+		Workers:      cfg.Workers,
+		Byzantine:    cfg.Byzantine,
+		Unresponsive: cfg.Unresponsive,
+		Seed:         cfg.Seed,
+	}
+}
+
+// udpDropSchedule returns the artificial-loss mask for the count packets of
+// worker's gradient at step: mask[i] is true when packet i is dropped before
+// the socket write. The mask is a pure function of (seed, step, worker) —
+// both endpoints evaluate it, the worker to drop and the server to know
+// which packets will never arrive — which is what makes lossy rounds
+// deterministic (byte-identical campaign JSON at any drop rate) and
+// deadline-free (a slot is recouped the moment its surviving packets are all
+// in, not when a timer fires).
+func udpDropSchedule(seed int64, step, worker, count int, rate float64) []bool {
+	mask := make([]bool, count)
+	if rate <= 0 {
+		return mask
+	}
+	rng := rand.New(rand.NewSource(ps.DropSeed(seed, step, worker)))
+	for i := range mask {
+		mask[i] = rng.Float64() < rate
+	}
+	return mask
+}
+
+// Start binds the server's gradient endpoint and one model endpoint per
+// worker, then launches the worker goroutines. It must be called exactly
+// once before Step.
+func (c *UDPCluster) Start() error {
+	if c.started {
+		return errors.New("cluster: Start called twice")
+	}
+	if c.closed {
+		return errors.New("cluster: Start after Close")
+	}
+	recv, err := transport.ListenUDP(c.cfg.Addr, c.cfg.Codec, c.cfg.Recoup, c.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	c.recv = recv
+	// The deployment's exact dimension is known: a spoofed header must not
+	// make any endpoint allocate beyond it.
+	recv.Reassembler().SetMaxDim(c.params.Dim())
+	for id := 0; id < c.cfg.Workers; id++ {
+		mrecv, err := transport.ListenUDP("127.0.0.1:0", c.cfg.Codec, transport.DropGradient, 0)
+		if err != nil {
+			c.abortStart()
+			return err
+		}
+		mrecv.Reassembler().SetMaxDim(c.params.Dim())
+		c.modelRecvs = append(c.modelRecvs, mrecv)
+		// Model broadcasts travel loss-free: drop rate 0 on the sender.
+		msend, err := transport.DialUDP(mrecv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
+		if err != nil {
+			c.abortStart()
+			return err
+		}
+		c.modelSenders = append(c.modelSenders, msend)
+		// Gradient loss is injected by the shared schedule, not the
+		// sender's own rng: drop rate 0 here too.
+		gsend, err := transport.DialUDP(recv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
+		if err != nil {
+			c.abortStart()
+			return err
+		}
+		c.gradSenders = append(c.gradSenders, gsend)
+	}
+	workers := make([]*clusterWorker, c.cfg.Workers)
+	for id := 0; id < c.cfg.Workers; id++ {
+		w, err := newClusterWorker(id, c.cfg.workerSpec())
+		if err != nil {
+			c.abortStart()
+			return err
+		}
+		workers[id] = w
+	}
+	for id := 0; id < c.cfg.Workers; id++ {
+		c.workerWG.Add(1)
+		go func(id int) {
+			defer c.workerWG.Done()
+			if err := c.runWorker(workers[id], c.modelRecvs[id], c.gradSenders[id]); err != nil {
+				c.workerErrs <- fmt.Errorf("worker %d: %w", id, err)
+			}
+		}(id)
+	}
+	c.started = true
+	return nil
+}
+
+// abortStart releases every socket a failed Start opened. No worker
+// goroutine has launched yet when it runs, so there is nothing to wait for.
+func (c *UDPCluster) abortStart() {
+	c.closed = true
+	for _, s := range c.gradSenders {
+		s.Close()
+	}
+	for _, s := range c.modelSenders {
+		s.Close()
+	}
+	for _, r := range c.modelRecvs {
+		r.Close()
+	}
+	c.recv.Close()
+}
+
+// runWorker is the worker main loop: model broadcast in, scheduled-loss
+// gradient datagrams out, until the server closes the model socket.
+func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, send *transport.UDPSender) error {
+	for {
+		model, err := mrecv.RecvModel(udpWorkerIdleTimeout)
+		if err != nil {
+			return nil // socket closed by the server: normal termination
+		}
+		if c.cfg.Unresponsive[w.id] {
+			continue // consume the broadcast, never answer (crashed node)
+		}
+		msg := w.submission(model)
+		pkts := c.cfg.Codec.Split(msg, c.cfg.MTU)
+		drop := udpDropSchedule(c.cfg.Seed, model.Step, w.id, len(pkts), c.cfg.DropRate)
+		for i := range pkts {
+			if drop[i] {
+				continue // the tc stand-in: this datagram "was lost"
+			}
+			if err := send.SendPacket(&pkts[i]); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Step runs one synchronous round over the datagram sockets.
+func (c *UDPCluster) Step() (*ps.StepResult, error) {
+	if !c.started {
+		return nil, errors.New("cluster: Step before Start")
+	}
+	if c.closed {
+		return nil, errors.New("cluster: Step after Close")
+	}
+	select {
+	case err := <-c.workerErrs:
+		return nil, fmt.Errorf("cluster: worker failed: %w", err)
+	default:
+	}
+	n := c.cfg.Workers
+	res := &ps.StepResult{Step: c.step}
+	asm := c.recv.Reassembler()
+	// Partials from earlier rounds can never complete (their remaining
+	// packets were scheduled drops); release them so a silent worker cannot
+	// grow server memory.
+	asm.DropStale(c.step)
+
+	// Broadcast phase. Suspected workers are included — a straggler that
+	// recovers can rejoin the round. UDP writes to a live socket never
+	// block, so sequential sends are fine.
+	for id, s := range c.modelSenders {
+		if err := s.SendModel(&transport.ModelMsg{Step: c.step, Params: c.params}); err != nil {
+			return nil, fmt.Errorf("cluster: model broadcast to worker %d at step %d: %w", id, c.step, err)
+		}
+	}
+
+	// The server evaluates every worker's drop schedule itself: expected
+	// packet arrivals and known-lost coordinate counts per slot.
+	dim := c.params.Dim()
+	per := c.cfg.Codec.CoordsPerPacket(c.cfg.MTU)
+	pktCount := (dim + per - 1) / per
+	if pktCount == 0 {
+		pktCount = 1
+	}
+	expectPkts := make([]int, n)
+	lostCoords := make([]int, n)
+	for id := 0; id < n; id++ {
+		drop := udpDropSchedule(c.cfg.Seed, c.step, id, pktCount, c.cfg.DropRate)
+		expectPkts[id] = pktCount
+		for p, d := range drop {
+			if !d {
+				continue
+			}
+			expectPkts[id]--
+			w := dim - p*per
+			if w > per {
+				w = per
+			}
+			lostCoords[id] += w
+		}
+	}
+
+	grads := make([]tensor.Vector, n)
+	losses := make([]float64, n)
+	got := make([]bool, n)     // slot holds a gradient (received or recouped)
+	hasLoss := make([]bool, n) // the worker's loss metadata actually arrived
+	dropped := make([]bool, n) // slot settled by the DropGradient policy
+
+	// Slots whose every packet is scheduled to drop can never arrive:
+	// recoup them up front (whole-gradient recoup, like a timed-out slot).
+	for id := 0; id < n; id++ {
+		if expectPkts[id] > 0 {
+			continue
+		}
+		if v := c.recoupSlot(id); v != nil {
+			grads[id] = v
+			got[id] = true
+		} else {
+			dropped[id] = true
+		}
+	}
+
+	// Collection phase: pump packets into the reassembler, slotting by
+	// self-declared worker id. A slot settles when its gradient completes,
+	// or — under loss — the moment all its surviving packets are in and the
+	// known-lost coordinates are recouped. Datagrams are unauthenticated,
+	// so anything malformed (out-of-range ids, wrong dimension, stale or
+	// future steps, duplicates after settlement) is ignored, never fatal: a
+	// single hostile datagram must not take the round down.
+	outstanding := func() int {
+		m := 0
+		for id := 0; id < n; id++ {
+			if !got[id] && !dropped[id] && !c.suspected[id] {
+				m++
+			}
+		}
+		return m
+	}
+	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	for outstanding() > 0 {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		pkt, err := c.recv.RecvPacket(remaining)
+		if err != nil {
+			if errors.Is(err, transport.ErrTimeout) {
+				break
+			}
+			return nil, fmt.Errorf("cluster: gradient receive at step %d: %w", c.step, err)
+		}
+		id := pkt.Worker
+		if id < 0 || id >= n || pkt.Step != c.step || pkt.Dim != dim {
+			continue
+		}
+		if got[id] || dropped[id] {
+			continue // duplicate delivery after settlement: protocol-normal
+		}
+		if msg, done := asm.Offer(pkt); done {
+			grads[id] = msg.Grad
+			losses[id] = msg.Loss
+			got[id], hasLoss[id] = true, true
+			delete(c.suspected, id) // recovered straggler rejoins the quorum
+		} else if missing, ok := asm.Missing(id, c.step); ok && missing == lostCoords[id] {
+			c.settleLost(asm, id, grads, losses, got, hasLoss, dropped)
+			if got[id] {
+				delete(c.suspected, id)
+			}
+		}
+	}
+
+	// Deadline: the round proceeds with whatever arrived (the paper's
+	// bounded waiting). Missing workers are suspected and not waited for in
+	// later rounds, so one unresponsive node costs one timeout, not one per
+	// round. Their slots — empty or partial — are recouped per the policy.
+	for id := 0; id < n; id++ {
+		if got[id] || dropped[id] {
+			continue
+		}
+		c.suspected[id] = true
+		if _, pending := asm.Missing(id, c.step); pending {
+			c.settleLost(asm, id, grads, losses, got, hasLoss, dropped)
+			continue
+		}
+		if v := c.recoupSlot(id); v != nil {
+			grads[id] = v
+			got[id] = true
+		}
+	}
+
+	// Aggregation input in worker-id order — accept order is a race, and
+	// floating-point summation is order-sensitive.
+	received := make([]tensor.Vector, 0, n)
+	for id := 0; id < n; id++ {
+		if got[id] {
+			received = append(received, grads[id])
+		}
+	}
+	res.Received = len(received)
+
+	// Mean honest loss (diagnostic only; Byzantine losses are excluded, as
+	// are slots whose loss metadata never arrived).
+	var lossSum float64
+	var lossN int
+	for id := 0; id < n; id++ {
+		if !hasLoss[id] {
+			continue
+		}
+		if _, byz := c.cfg.Byzantine[id]; byz {
+			continue
+		}
+		lossSum += losses[id]
+		lossN++
+	}
+	if lossN > 0 {
+		res.Loss = lossSum / float64(lossN)
+	}
+
+	// Aggregation + descent phase, mirroring the TCP backend: a round whose
+	// survivor count violates the GAR's quorum is skipped, not deadlocked.
+	agg, err := c.cfg.GAR.Aggregate(received)
+	if err != nil {
+		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
+			res.Skipped = true
+			c.step++
+			return res, nil
+		}
+		return nil, fmt.Errorf("cluster: aggregation at step %d: %w", c.step, err)
+	}
+	opt.Regularize(agg, c.params, c.cfg.L1, c.cfg.L2)
+	c.cfg.Optimizer.Step(c.step, c.params, agg)
+	c.server.SetParamsVector(c.params)
+	c.step++
+	return res, nil
+}
+
+// settleLost resolves worker id's partial gradient whose remaining
+// coordinates are presumed lost, per the recoup policy: DropGradient
+// discards it, FillNaN and FillRandom force-complete it — the fill keyed on
+// (seed, step, id) and applied in ascending coordinate order, so the values
+// are a pure function of the configuration and the set of missing
+// coordinates.
+func (c *UDPCluster) settleLost(asm *transport.Reassembler, id int, grads []tensor.Vector, losses []float64, got, hasLoss, dropped []bool) {
+	switch c.cfg.Recoup {
+	case transport.FillNaN:
+		msg, ok := asm.FlushFill(id, c.step, func(int) float64 { return math.NaN() })
+		if !ok {
+			return
+		}
+		grads[id], losses[id] = msg.Grad, msg.Loss
+		got[id], hasLoss[id] = true, true
+	case transport.FillRandom:
+		rng := rand.New(rand.NewSource(ps.RecoupSeed(c.cfg.Seed, c.step, id)))
+		msg, ok := asm.FlushFill(id, c.step, func(int) float64 { return rng.NormFloat64() })
+		if !ok {
+			return
+		}
+		grads[id], losses[id] = msg.Grad, msg.Loss
+		got[id], hasLoss[id] = true, true
+	default: // DropGradient
+		asm.Discard(id, c.step)
+		dropped[id] = true
+	}
+}
+
+// recoupSlot produces the stand-in gradient for a slot with no packets at
+// all (every packet scheduled to drop, or a worker that missed the round
+// deadline entirely), per the configured recoup policy. nil means the slot
+// is dropped. Identical in construction to the TCP backend's timed-out-slot
+// recoup: a deterministic function of (seed, step, worker id).
+func (c *UDPCluster) recoupSlot(id int) tensor.Vector {
+	switch c.cfg.Recoup {
+	case transport.FillNaN:
+		v := tensor.NewVector(c.params.Dim())
+		for i := range v {
+			v[i] = math.NaN()
+		}
+		return v
+	case transport.FillRandom:
+		rng := rand.New(rand.NewSource(ps.RecoupSeed(c.cfg.Seed, c.step, id)))
+		v := tensor.NewVector(c.params.Dim())
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	default: // DropGradient: proceed without the slot
+		return nil
+	}
+}
+
+// Model returns the server's evaluation replica, synchronised with the
+// current parameters.
+func (c *UDPCluster) Model() *nn.Network { return c.server }
+
+// Params returns a copy of the current model parameters.
+func (c *UDPCluster) Params() tensor.Vector { return c.params.Clone() }
+
+// StepCount returns the number of rounds run so far.
+func (c *UDPCluster) StepCount() int { return c.step }
+
+// Close unblocks every worker by closing its model endpoint, waits for the
+// worker goroutines, and releases the remaining sockets. It is idempotent.
+func (c *UDPCluster) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if !c.started {
+		if c.recv != nil {
+			c.recv.Close()
+		}
+		return nil
+	}
+	for _, r := range c.modelRecvs {
+		r.Close()
+	}
+	c.workerWG.Wait()
+	for _, s := range c.modelSenders {
+		s.Close()
+	}
+	for _, s := range c.gradSenders {
+		s.Close()
+	}
+	return c.recv.Close()
+}

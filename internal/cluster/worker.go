@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/data"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/ps"
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+// workerSpec is the backend-independent description of one cluster worker:
+// everything a node needs to turn a model broadcast into a wire submission,
+// regardless of whether that submission then travels a TCP stream or a burst
+// of UDP datagrams. Both socket backends derive it from their configs so the
+// gradient streams — and therefore the trajectories — are identical across
+// transports.
+type workerSpec struct {
+	ModelFactory func() *nn.Network
+	Train        *data.Dataset
+	Batch        int
+	Workers      int
+	Byzantine    map[int]string
+	Unresponsive map[int]bool
+	Seed         int64
+}
+
+// clusterWorker is one worker node's state: its model replica, seeded
+// sampler, attack RNG, and — for Byzantine workers — the omniscient oracle.
+type clusterWorker struct {
+	id      int
+	spec    workerSpec
+	replica *nn.Network
+	sampler data.Sampler
+	rng     *rand.Rand
+	atk     attack.Attack
+
+	// Omniscient oracle. The paper's threat model (§3.1) gives colluders
+	// every correct gradient before the server sees them (arbitrarily fast
+	// channels). Over real sockets there is nothing in flight to observe,
+	// so the adversary recomputes them instead: knowing the run seed, the
+	// dataset and the model, it replicates every honest worker's sampler
+	// and derives the exact gradients the server is about to receive. This
+	// keeps informed attacks (omniscient, little-is-enough, ...) available
+	// over the wire and bit-identical to the in-process backend.
+	peers        []int
+	peerReplica  *nn.Network
+	peerSamplers map[int]data.Sampler
+}
+
+func newClusterWorker(id int, spec workerSpec) (*clusterWorker, error) {
+	w := &clusterWorker{
+		id:      id,
+		spec:    spec,
+		replica: spec.ModelFactory(),
+		sampler: data.NewUniformSampler(spec.Train, ps.SamplerSeed(spec.Seed, id)),
+		rng:     rand.New(rand.NewSource(ps.AttackSeed(spec.Seed, id))),
+	}
+	if name, ok := spec.Byzantine[id]; ok {
+		atk, err := attack.New(name)
+		if err != nil {
+			return nil, err
+		}
+		w.atk = atk
+		w.peerReplica = spec.ModelFactory()
+		w.peerSamplers = map[int]data.Sampler{}
+		for p := 0; p < spec.Workers; p++ {
+			if _, byz := spec.Byzantine[p]; byz || spec.Unresponsive[p] {
+				continue
+			}
+			w.peers = append(w.peers, p)
+			w.peerSamplers[p] = data.NewUniformSampler(spec.Train, ps.SamplerSeed(spec.Seed, p))
+		}
+	}
+	return w, nil
+}
+
+// submission computes the worker's wire submission for one broadcast: the
+// honest gradient and loss, with Byzantine workers forging through the same
+// attack.Context the in-process backend builds.
+func (w *clusterWorker) submission(model *transport.ModelMsg) *transport.GradientMsg {
+	w.replica.SetParamsVector(model.Params)
+	x, y := w.sampler.Sample(w.spec.Batch)
+	loss, grad := w.replica.Gradient(x, y)
+	if w.atk != nil {
+		var honest []tensor.Vector
+		if len(w.peers) > 0 {
+			w.peerReplica.SetParamsVector(model.Params)
+			for _, p := range w.peers {
+				px, py := w.peerSamplers[p].Sample(w.spec.Batch)
+				_, pg := w.peerReplica.Gradient(px, py)
+				honest = append(honest, pg.Clone())
+			}
+		}
+		grad = w.atk.Forge(&attack.Context{
+			Step:   model.Step,
+			Honest: honest,
+			Own:    grad,
+			N:      w.spec.Workers,
+			F:      len(w.spec.Byzantine),
+			Dim:    grad.Dim(),
+			Rng:    w.rng,
+		})
+	}
+	return &transport.GradientMsg{Worker: w.id, Step: model.Step, Loss: loss, Grad: grad}
+}

@@ -135,6 +135,11 @@ const (
 	// goroutines speaking the binary wire protocol over real localhost TCP
 	// connections (cluster.TCPCluster), driven by the same training loop.
 	BackendTCP = "tcp"
+	// BackendUDP is the lossy socket-distributed deployment: gradients are
+	// chunked into real UDP datagrams (cluster.UDPCluster) with seeded
+	// per-packet drop injection and §3.3 recoup of the lost coordinates —
+	// the paper's lossyMPI channel over actual sockets.
+	BackendUDP = "udp"
 )
 
 // Config is a full experiment description (the runner.py command line).
@@ -142,7 +147,9 @@ type Config struct {
 	// Experiment is the model+dataset preset name.
 	Experiment string
 	// Backend selects the deployment substrate: "" or "in-process" for the
-	// simulated cluster, "tcp" for the socket-distributed cluster.
+	// simulated cluster, "tcp" for the socket-distributed cluster, "udp"
+	// for the lossy datagram-distributed cluster (DropRate and Recoup then
+	// apply to the real gradient datagrams instead of in-process pipes).
 	Backend string
 	// Aggregator is the GAR name ("average", "median", "multi-krum",
 	// "bulyan", ... or "draco" for the comparison baseline).
@@ -316,8 +323,11 @@ func Run(cfg Config) (*Result, error) {
 	case "", BackendInProcess:
 	case BackendTCP:
 		return runTCP(cfg)
+	case BackendUDP:
+		return runUDP(cfg)
 	default:
-		return nil, fmt.Errorf("core: unknown backend %q (want %s|%s)", cfg.Backend, BackendInProcess, BackendTCP)
+		return nil, fmt.Errorf("core: unknown backend %q (want %s|%s|%s)",
+			cfg.Backend, BackendInProcess, BackendTCP, BackendUDP)
 	}
 	if cfg.Aggregator == "draco" {
 		return runDraco(cfg)

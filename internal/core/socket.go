@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"aggregathor/internal/data"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/opt"
+	"aggregathor/internal/ps"
+	"aggregathor/internal/tensor"
+)
+
+// socketCluster is what a socket-distributed deployment owes the shared
+// runner beyond the ps.Trainer surface: lifecycle and parameter access for
+// the divergence hook.
+type socketCluster interface {
+	ps.Trainer
+	Start() error
+	Close() error
+	Params() tensor.Vector
+}
+
+// runSocketBackend executes one experiment on a socket-distributed backend
+// (tcp or udp): it rejects the simulator-only options, resolves the
+// experiment, rule and optimizer, builds the cluster through the
+// backend-specific constructor, and drives it with the same training loop
+// and simulated clock as the in-process deployments.
+func runSocketBackend(
+	cfg Config,
+	unsupported error,
+	build func(factory func() *nn.Network, train *data.Dataset, rule gar.GAR, optimizer opt.Optimizer) (socketCluster, error),
+) (*Result, error) {
+	if cfg.UDPLinks > 0 || cfg.Vanilla || len(cfg.HijackWorkers) > 0 ||
+		len(cfg.CorruptData) > 0 || cfg.CheckpointPath != "" ||
+		cfg.ServerReplicas > 1 || cfg.Aggregator == "draco" {
+		return nil, unsupported
+	}
+	exp, err := LookupExperiment(cfg.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	train, test, factory := exp.Make(cfg.Seed)
+
+	aggName := cfg.Aggregator
+	tfBaseline := aggName == "tf"
+	if tfBaseline {
+		aggName = "average"
+	}
+	rule, err := gar.New(aggName, cfg.F)
+	if err != nil {
+		return nil, err
+	}
+	optimizer, err := opt.New(cfg.Optimizer, opt.Fixed{Rate: cfg.LR})
+	if err != nil {
+		return nil, err
+	}
+
+	cl, err := build(factory, train, rule, optimizer)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Start(); err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	round, err := simulatedRound(cfg, exp, rule, aggName, tfBaseline)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg}
+	res.seriesNames(cfg.Aggregator)
+	res.breakdown(cfg.Aggregator, round)
+	hooks := loopHooks{
+		finite: func() bool { return cl.Params().IsFinite() },
+	}
+	if err := runTraining(cfg, cl, test, round, res, hooks); err != nil {
+		return nil, fmt.Errorf("core: %s backend: %w", cfg.Backend, err)
+	}
+	return res, nil
+}

@@ -2,10 +2,11 @@ package core
 
 import (
 	"errors"
-	"fmt"
 
 	"aggregathor/internal/cluster"
+	"aggregathor/internal/data"
 	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
 	"aggregathor/internal/opt"
 )
 
@@ -19,68 +20,30 @@ var ErrTCPUnsupported = errors.New("core: option not supported with the tcp back
 // round-by-round by the same training loop as the in-process deployments.
 // Worker seeds derive from the run seed through the shared ps formulas, so a
 // tcp run and an in-process run of the same configuration produce identical
-// loss/accuracy trajectories.
+// loss/accuracy trajectories. A positive DropRate is rejected: TCP is a
+// reliable transport, and silently running the config loss-free would
+// masquerade as the lossy sweep the caller asked for (use the udp backend
+// or UDPLinks).
 func runTCP(cfg Config) (*Result, error) {
-	if cfg.UDPLinks > 0 || cfg.Vanilla || len(cfg.HijackWorkers) > 0 ||
-		len(cfg.CorruptData) > 0 || cfg.CheckpointPath != "" ||
-		cfg.ServerReplicas > 1 || cfg.Aggregator == "draco" {
+	if cfg.DropRate > 0 {
 		return nil, ErrTCPUnsupported
 	}
-	exp, err := LookupExperiment(cfg.Experiment)
-	if err != nil {
-		return nil, err
-	}
-	train, test, factory := exp.Make(cfg.Seed)
-
-	aggName := cfg.Aggregator
-	tfBaseline := aggName == "tf"
-	if tfBaseline {
-		aggName = "average"
-	}
-	rule, err := gar.New(aggName, cfg.F)
-	if err != nil {
-		return nil, err
-	}
-	optimizer, err := opt.New(cfg.Optimizer, opt.Fixed{Rate: cfg.LR})
-	if err != nil {
-		return nil, err
-	}
-
-	cl, err := cluster.NewTCPCluster(cluster.TCPClusterConfig{
-		Addr:         "127.0.0.1:0",
-		ModelFactory: factory,
-		Workers:      cfg.Workers,
-		GAR:          rule,
-		Optimizer:    optimizer,
-		Batch:        cfg.Batch,
-		Train:        train,
-		RoundTimeout: cfg.RoundTimeout,
-		Byzantine:    cfg.Attacks,
-		Recoup:       cfg.Recoup,
-		Seed:         cfg.Seed,
-		L1:           cfg.L1,
-		L2:           cfg.L2,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := cl.Start(); err != nil {
-		return nil, err
-	}
-	defer cl.Close()
-
-	round, err := simulatedRound(cfg, exp, rule, aggName, tfBaseline)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Config: cfg}
-	res.seriesNames(cfg.Aggregator)
-	res.breakdown(cfg.Aggregator, round)
-	hooks := loopHooks{
-		finite: func() bool { return cl.Params().IsFinite() },
-	}
-	if err := runTraining(cfg, cl, test, round, res, hooks); err != nil {
-		return nil, fmt.Errorf("core: tcp backend: %w", err)
-	}
-	return res, nil
+	return runSocketBackend(cfg, ErrTCPUnsupported,
+		func(factory func() *nn.Network, train *data.Dataset, rule gar.GAR, optimizer opt.Optimizer) (socketCluster, error) {
+			return cluster.NewTCPCluster(cluster.TCPClusterConfig{
+				Addr:         "127.0.0.1:0",
+				ModelFactory: factory,
+				Workers:      cfg.Workers,
+				GAR:          rule,
+				Optimizer:    optimizer,
+				Batch:        cfg.Batch,
+				Train:        train,
+				RoundTimeout: cfg.RoundTimeout,
+				Byzantine:    cfg.Attacks,
+				Recoup:       cfg.Recoup,
+				Seed:         cfg.Seed,
+				L1:           cfg.L1,
+				L2:           cfg.L2,
+			})
+		})
 }

@@ -91,6 +91,7 @@ func TestTCPBackendRejectsSimulatorOnlyOptions(t *testing.T) {
 		func(c *Config) { c.CheckpointPath = "x.ckpt" },
 		func(c *Config) { c.ServerReplicas = 3 },
 		func(c *Config) { c.Aggregator = "draco" },
+		func(c *Config) { c.DropRate = 0.1 },
 	}
 	for i, m := range mutate {
 		cfg := base

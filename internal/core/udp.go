@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+
+	"aggregathor/internal/cluster"
+	"aggregathor/internal/data"
+	"aggregathor/internal/gar"
+	"aggregathor/internal/nn"
+	"aggregathor/internal/opt"
+)
+
+// ErrUDPUnsupported is returned for udp-backend configs that request
+// features only the in-process simulator implements.
+var ErrUDPUnsupported = errors.New("core: option not supported with the udp backend")
+
+// runUDP executes one experiment on the lossy datagram-distributed backend:
+// a cluster.UDPCluster on localhost, every model broadcast and gradient
+// travelling real UDP sockets with seeded per-packet drop injection and
+// §3.3 recoup of the lost coordinates, driven round-by-round by the same
+// training loop as the other deployments. At DropRate 0 a udp run reproduces
+// the in-process (and tcp) trajectories bit-for-bit; at DropRate > 0 the
+// run stays a pure function of the configuration because the drop schedule
+// and the recoup values are keyed on (seed, step, worker).
+func runUDP(cfg Config) (*Result, error) {
+	return runSocketBackend(cfg, ErrUDPUnsupported,
+		func(factory func() *nn.Network, train *data.Dataset, rule gar.GAR, optimizer opt.Optimizer) (socketCluster, error) {
+			return cluster.NewUDPCluster(cluster.UDPClusterConfig{
+				Addr:         "127.0.0.1:0",
+				ModelFactory: factory,
+				Workers:      cfg.Workers,
+				GAR:          rule,
+				Optimizer:    optimizer,
+				Batch:        cfg.Batch,
+				Train:        train,
+				RoundTimeout: cfg.RoundTimeout,
+				DropRate:     cfg.DropRate,
+				Recoup:       cfg.Recoup,
+				Byzantine:    cfg.Attacks,
+				Seed:         cfg.Seed,
+				L1:           cfg.L1,
+				L2:           cfg.L2,
+			})
+		})
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aggregathor/internal/tensor"
 )
@@ -140,23 +141,17 @@ func PairwiseSquaredDistances(grads []tensor.Vector, sequential bool) [][]float6
 		return dist
 	}
 	// Rows have decreasing cost (row i does n-1-i distance computations),
-	// so hand out rows via a shared counter rather than fixed block splits.
-	var next int64
-	var mu sync.Mutex
-	takeRow := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		r := int(next)
-		next++
-		return r
-	}
+	// so hand out rows via a shared atomic counter rather than fixed block
+	// splits — lock-free work stealing keeps every goroutine busy until the
+	// triangle is exhausted without serialising the steal on a mutex.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := takeRow()
+				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}

@@ -355,7 +355,7 @@ func TestLossyPipesWithRobustGAR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 150; i++ {
+	for i := 0; i < 250; i++ {
 		if _, err := c.Step(); err != nil {
 			t.Fatal(err)
 		}

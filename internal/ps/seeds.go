@@ -29,3 +29,14 @@ func AttackSeed(runSeed int64, worker int) int64 {
 func RecoupSeed(runSeed int64, step, worker int) int64 {
 	return runSeed ^ (int64(step)*1000003 + int64(worker)*7907)
 }
+
+// DropSeed derives the RNG seed for the artificial packet-loss schedule of
+// one worker's gradient at one step on the lossy UDP backend. Keyed per
+// (step, worker) — never a per-sender stream — so the set of dropped packets
+// is a pure function of the run configuration that BOTH endpoints can
+// evaluate: the worker to drop before the socket write, the server to know
+// exactly which packets will never arrive (which is what makes lossy rounds
+// both deterministic and deadline-free).
+func DropSeed(runSeed int64, step, worker int) int64 {
+	return runSeed ^ (int64(step)*999983 + int64(worker)*6007 + 11)
+}

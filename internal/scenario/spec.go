@@ -46,16 +46,20 @@ type Network struct {
 	// Backend selects the deployment substrate for this cell: "" or
 	// "in-process" runs the simulated cluster, "tcp" runs a real
 	// socket-distributed cluster.TCPCluster on localhost (every model
-	// broadcast and gradient travels the wire). The tcp backend is
-	// incompatible with udpLinks.
+	// broadcast and gradient travels the wire), "udp" runs a real
+	// lossy datagram-distributed cluster.UDPCluster — gradients chunked
+	// into UDP packets with seeded drop injection at dropRate and §3.3
+	// recoup of the lost coordinates. The socket backends are incompatible
+	// with udpLinks (the in-memory pipe knob).
 	Backend string `json:"backend,omitempty"`
 	// UDPLinks is how many worker links run over the in-memory lossy UDP
 	// pipe; -1 means every link. 0 (the default) is the in-process perfect
 	// transport.
 	UDPLinks int `json:"udpLinks,omitempty"`
-	// DropRate is the per-packet loss probability on UDP links, in [0, 1).
+	// DropRate is the per-packet loss probability in [0, 1), applied on
+	// in-memory UDP pipe links and on the udp backend's real datagrams.
 	DropRate float64 `json:"dropRate,omitempty"`
-	// Recoup selects the lost-coordinate policy on UDP links:
+	// Recoup selects the lost-coordinate policy on lossy links:
 	// drop-gradient | fill-nan | fill-random (default).
 	Recoup string `json:"recoup,omitempty"`
 	// Protocol costs the simulated clock as "tcp" (default) or "udp".
@@ -210,8 +214,11 @@ func (s *Spec) Validate() error {
 		if _, err := n.backend(); err != nil {
 			return err
 		}
-		if n.Backend == core.BackendTCP && n.UDPLinks != 0 {
-			return fmt.Errorf("scenario: network %q combines the tcp backend with udpLinks", n.Name)
+		if (n.Backend == core.BackendTCP || n.Backend == core.BackendUDP) && n.UDPLinks != 0 {
+			return fmt.Errorf("scenario: network %q combines the %s backend with udpLinks", n.Name, n.Backend)
+		}
+		if n.Backend == core.BackendTCP && n.DropRate != 0 {
+			return fmt.Errorf("scenario: network %q sets dropRate on the tcp backend (loss needs backend \"udp\" or udpLinks)", n.Name)
 		}
 		if n.DropRate < 0 || n.DropRate >= 1 {
 			return fmt.Errorf("scenario: network %q drop rate %v outside [0, 1)", n.Name, n.DropRate)
@@ -276,9 +283,11 @@ func (n Network) backend() (string, error) {
 		return core.BackendInProcess, nil
 	case core.BackendTCP:
 		return core.BackendTCP, nil
+	case core.BackendUDP:
+		return core.BackendUDP, nil
 	default:
-		return "", fmt.Errorf("scenario: network %q unknown backend %q (want %s|%s)",
-			n.Name, n.Backend, core.BackendInProcess, core.BackendTCP)
+		return "", fmt.Errorf("scenario: network %q unknown backend %q (want %s|%s|%s)",
+			n.Name, n.Backend, core.BackendInProcess, core.BackendTCP, core.BackendUDP)
 	}
 }
 
@@ -365,6 +374,36 @@ func SmokeSpec() Spec {
 		Seeds:     []int64{1},
 		Steps:     60,
 		Batch:     32,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// UDPSmokeSpec returns the built-in lossy-datagram demonstration campaign
+// (cmd/scenario -builtin udp-smoke): the same cells swept in-process, over
+// real UDP sockets on a perfect link (dropRate 0 — must reproduce the
+// in-process trajectories bit-for-bit), and over real UDP sockets at 10%
+// seeded packet loss with fill-random recoup (the AggregaThor deployment of
+// §3.3). The lossy cells stay byte-reproducible because the drop schedule
+// and recoup values are pure functions of (seed, step, worker).
+func UDPSmokeSpec() Spec {
+	s := Spec{
+		Name:       "udp-smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"median", "multi-krum"},
+		Attacks:    []string{AttackNone, "reversed", "non-finite"},
+		Clusters:   []Cluster{{Workers: 7, F: 1}},
+		Networks: []Network{
+			{Name: "in-process"},
+			{Name: "udp-distributed", Backend: "udp"},
+			{Name: "udp-lossy", Backend: "udp", DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     30,
+		Batch:     16,
 		LR:        5e-3,
 		EvalEvery: 10,
 		Threshold: 0.25,

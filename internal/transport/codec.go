@@ -21,10 +21,13 @@ const (
 	// Magic tags every AggregaThor frame and datagram.
 	Magic = 0xA66E06A7
 	// Version is the current wire version. Version 2 inserted the 8-byte
-	// loss metadata field into the gradient frame; a version-1 peer is
-	// rejected with a clean version-mismatch error instead of misparsing
-	// the frame.
-	Version = 2
+	// loss metadata field into the gradient frame; version 3 carried the
+	// same field through the datagram packet header, so gradients shipped
+	// over lossy UDP keep their loss metadata (previously the datagram path
+	// silently rebuilt messages with Loss 0). A peer speaking an older
+	// version is rejected with a clean version-mismatch error instead of
+	// misparsing the frame.
+	Version = 3
 
 	msgModel    = 1
 	msgGradient = 2

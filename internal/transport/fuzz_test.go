@@ -65,6 +65,85 @@ func FuzzDecodeGradient(f *testing.F) {
 	})
 }
 
+// FuzzReassembler feeds arbitrary *sequences* of datagrams through the
+// decode→reassemble pipeline — the exact surface a Byzantine worker reaches
+// on the UDP path. Single-packet decode fuzzing (FuzzDecodePacket) cannot
+// reach the cross-packet state: the conflicting-Dim crash needed two
+// individually valid packets sharing a (worker, step) key, which is the
+// seeded crasher below. The reassembler must never panic, every completed
+// gradient must be self-consistent, and pending state must stay bounded by
+// the number of distinct keys offered.
+func FuzzReassembler(f *testing.F) {
+	c := Codec{Float32: true}
+	// Seed: a legitimate split, interleaved across two workers.
+	var legit []byte
+	for _, worker := range []int{0, 1} {
+		msg := &GradientMsg{Worker: worker, Step: 3, Loss: 0.5, Grad: tensor.Vector{1, 2, 3, 4, 5, 6, 7, 8}}
+		for _, p := range c.Split(msg, 64) {
+			legit = appendChunk(legit, c.EncodePacket(&p))
+		}
+	}
+	f.Add(legit)
+	// Seed: the conflicting-Dim crasher — two self-consistent packets, same
+	// key, different dims (the second used to index out of range).
+	small := &Packet{Worker: 1, Step: 1, Dim: 4, Offset: 0, Coords: tensor.Vector{1, 2}}
+	large := &Packet{Worker: 1, Step: 1, Dim: 4096, Offset: 4000, Coords: tensor.Vector{9, 9, 9}}
+	f.Add(appendChunk(appendChunk(nil, c.EncodePacket(small)), c.EncodePacket(large)))
+	f.Add(appendChunk(appendChunk(nil, c.EncodePacket(large)), c.EncodePacket(small)))
+	// Seed: raw garbage chunks.
+	f.Add(appendChunk(appendChunk(nil, []byte("garbage")), bytes.Repeat([]byte{0xFF}, packetHeaderLen)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		asm := NewReassembler(FillNaN, nil)
+		asm.SetMaxDim(1 << 16) // the allocation bound itself is under test
+		keys := map[[2]int]bool{}
+		for len(data) >= 2 {
+			n := int(data[0])<<8 | int(data[1])
+			data = data[2:]
+			if n > len(data) {
+				n = len(data)
+			}
+			chunk := data[:n]
+			data = data[n:]
+			p, err := c.DecodePacket(chunk)
+			if err != nil {
+				continue
+			}
+			keys[[2]int{p.Worker, p.Step}] = true
+			msg, done := asm.Offer(p)
+			if done {
+				if msg == nil {
+					t.Fatal("done with nil message")
+				}
+				if len(msg.Grad) != p.Dim {
+					t.Fatalf("completed gradient dim %d, packet dim %d", len(msg.Grad), p.Dim)
+				}
+				if msg.Worker != p.Worker || msg.Step != p.Step {
+					t.Fatalf("completed gradient key (%d,%d) from packet (%d,%d)",
+						msg.Worker, msg.Step, p.Worker, p.Step)
+				}
+			}
+			if asm.Pending() > len(keys) {
+				t.Fatalf("pending %d exceeds %d distinct keys", asm.Pending(), len(keys))
+			}
+		}
+		// Every partial must flush or discard cleanly, whatever arrived.
+		for key := range keys {
+			asm.Flush(key[0], key[1])
+		}
+		if asm.Pending() != 0 {
+			t.Fatalf("%d partials leaked after flushing every key", asm.Pending())
+		}
+	})
+}
+
+// appendChunk length-prefixes one datagram in the fuzz corpus encoding
+// (u16 big-endian length, then the bytes).
+func appendChunk(dst, chunk []byte) []byte {
+	dst = append(dst, byte(len(chunk)>>8), byte(len(chunk)))
+	return append(dst, chunk...)
+}
+
 // TestPacketRoundTripAllWidths pins the encode→decode→encode identity on
 // structured packets (the property -fuzz explores from arbitrary bytes).
 func TestPacketRoundTripAllWidths(t *testing.T) {

@@ -18,14 +18,18 @@ import (
 type Packet struct {
 	Worker int
 	Step   int
+	// Loss is the sender's training loss, repeated in every packet like the
+	// rest of the gradient metadata so it survives the loss of any strict
+	// subset of the datagrams.
+	Loss   float64
 	Dim    int // total gradient dimension
 	Offset int // first coordinate carried
 	Coords tensor.Vector
 }
 
 // packetHeaderLen is magic u32 | version u8 | worker u32 | step u64 |
-// dim u32 | offset u32 | count u32.
-const packetHeaderLen = 4 + 1 + 4 + 8 + 4 + 4 + 4
+// loss f64 | dim u32 | offset u32 | count u32.
+const packetHeaderLen = 4 + 1 + 4 + 8 + 8 + 4 + 4 + 4
 
 // DefaultMTU is the conventional Ethernet payload budget for one datagram.
 const DefaultMTU = 1400
@@ -57,6 +61,7 @@ func (c Codec) Split(m *GradientMsg, mtu int) []Packet {
 		out = append(out, Packet{
 			Worker: m.Worker,
 			Step:   m.Step,
+			Loss:   m.Loss,
 			Dim:    dim,
 			Offset: off,
 			Coords: m.Grad[off:hi],
@@ -75,9 +80,10 @@ func (c Codec) EncodePacket(p *Packet) []byte {
 	buf[4] = Version
 	binary.LittleEndian.PutUint32(buf[5:], uint32(p.Worker))
 	binary.LittleEndian.PutUint64(buf[9:], uint64(p.Step))
-	binary.LittleEndian.PutUint32(buf[17:], uint32(p.Dim))
-	binary.LittleEndian.PutUint32(buf[21:], uint32(p.Offset))
-	binary.LittleEndian.PutUint32(buf[25:], uint32(len(p.Coords)))
+	binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(p.Loss))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(p.Dim))
+	binary.LittleEndian.PutUint32(buf[29:], uint32(p.Offset))
+	binary.LittleEndian.PutUint32(buf[33:], uint32(len(p.Coords)))
 	c.putCoords(buf[packetHeaderLen:], p.Coords)
 	return buf
 }
@@ -93,7 +99,7 @@ func (c Codec) DecodePacket(buf []byte) (*Packet, error) {
 	if buf[4] != Version {
 		return nil, fmt.Errorf("%w: unsupported packet version %d", ErrBadFrame, buf[4])
 	}
-	count := int(binary.LittleEndian.Uint32(buf[25:]))
+	count := int(binary.LittleEndian.Uint32(buf[33:]))
 	want := packetHeaderLen + count*c.BytesPerCoord()
 	if len(buf) != want {
 		return nil, fmt.Errorf("%w: packet %d bytes, want %d", ErrBadFrame, len(buf), want)
@@ -101,8 +107,9 @@ func (c Codec) DecodePacket(buf []byte) (*Packet, error) {
 	p := &Packet{
 		Worker: int(binary.LittleEndian.Uint32(buf[5:])),
 		Step:   int(binary.LittleEndian.Uint64(buf[9:])),
-		Dim:    int(binary.LittleEndian.Uint32(buf[17:])),
-		Offset: int(binary.LittleEndian.Uint32(buf[21:])),
+		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(buf[17:])),
+		Dim:    int(binary.LittleEndian.Uint32(buf[25:])),
+		Offset: int(binary.LittleEndian.Uint32(buf[29:])),
 		Coords: tensor.NewVector(count),
 	}
 	if p.Offset < 0 || p.Offset+count > p.Dim {
@@ -141,11 +148,21 @@ func (p RecoupPolicy) String() string {
 	}
 }
 
+// DefaultMaxDim bounds the gradient dimension a reassembler will allocate
+// state for: a datagram header is attacker-controlled, and without a bound a
+// single spoofed packet claiming Dim ≈ 2³² would make the first Offer
+// allocate tens of gigabytes and abort the process — a one-datagram remote
+// OOM. The default leaves an order of magnitude of headroom over the
+// paper-scale 1.75M-parameter model; endpoints that know their deployment's
+// exact dimension should tighten it with SetMaxDim.
+const DefaultMaxDim = 1 << 24
+
 // Reassembler collects packets into gradients. One Reassembler serves one
 // receive endpoint; it is not safe for concurrent use (wrap externally).
 type Reassembler struct {
 	policy RecoupPolicy
 	rng    *rand.Rand
+	maxDim int
 	// pending maps (worker, step) to partial gradients.
 	pending map[[2]int]*partial
 }
@@ -154,6 +171,7 @@ type partial struct {
 	grad     tensor.Vector
 	received []bool // per-coordinate arrival mask
 	missing  int
+	loss     float64 // metadata repeated in every packet; pinned by the first
 }
 
 // NewReassembler builds a reassembler with the given recoup policy. rng is
@@ -162,12 +180,37 @@ func NewReassembler(policy RecoupPolicy, rng *rand.Rand) *Reassembler {
 	if policy == FillRandom && rng == nil {
 		panic("transport: FillRandom requires an rng")
 	}
-	return &Reassembler{policy: policy, rng: rng, pending: map[[2]int]*partial{}}
+	return &Reassembler{policy: policy, rng: rng, maxDim: DefaultMaxDim, pending: map[[2]int]*partial{}}
+}
+
+// SetMaxDim tightens the allocation bound on claimed gradient dimensions
+// (default DefaultMaxDim). Endpoints that know the deployment's exact model
+// dimension should set it so a spoofed header cannot make them allocate
+// anything larger; d <= 0 is ignored.
+func (r *Reassembler) SetMaxDim(d int) {
+	if d > 0 {
+		r.maxDim = d
+	}
 }
 
 // Offer feeds one packet. When the packet completes its gradient, the
 // finished message is returned with done=true and the state released.
+//
+// Packets whose metadata conflicts with the partial already pending for the
+// same (worker, step) key are rejected as malformed, exactly like a packet
+// DecodePacket would refuse: a Byzantine worker is free to send two
+// self-consistent packets with different Dim values, and before this check
+// the second one indexed the first one's arrival mask out of range — a
+// remote crash from a single hostile datagram. The same rule covers the
+// repeated Loss metadata (compared bitwise so NaN losses stay consistent),
+// claimed dimensions beyond the allocation bound (see DefaultMaxDim — a
+// spoofed huge Dim must not OOM the process) and, defensively, the
+// coordinate range of hand-built packets that never went through
+// DecodePacket.
 func (r *Reassembler) Offer(p *Packet) (msg *GradientMsg, done bool) {
+	if p.Dim < 0 || p.Dim > r.maxDim || p.Offset < 0 || p.Offset+len(p.Coords) > p.Dim {
+		return nil, false // malformed range: never index or allocate with it
+	}
 	key := [2]int{p.Worker, p.Step}
 	part, ok := r.pending[key]
 	if !ok {
@@ -175,8 +218,12 @@ func (r *Reassembler) Offer(p *Packet) (msg *GradientMsg, done bool) {
 			grad:     tensor.NewVector(p.Dim),
 			received: make([]bool, p.Dim),
 			missing:  p.Dim,
+			loss:     p.Loss,
 		}
 		r.pending[key] = part
+	}
+	if p.Dim != len(part.received) || math.Float64bits(p.Loss) != math.Float64bits(part.loss) {
+		return nil, false // metadata conflicts with the first packet: malformed
 	}
 	for i, x := range p.Coords {
 		idx := p.Offset + i
@@ -190,7 +237,7 @@ func (r *Reassembler) Offer(p *Packet) (msg *GradientMsg, done bool) {
 		return nil, false
 	}
 	delete(r.pending, key)
-	return &GradientMsg{Worker: p.Worker, Step: p.Step, Grad: part.grad}, true
+	return &GradientMsg{Worker: p.Worker, Step: p.Step, Loss: part.loss, Grad: part.grad}, true
 }
 
 // Flush force-completes the pending gradient for (worker, step) using the
@@ -220,7 +267,51 @@ func (r *Reassembler) Flush(worker, step int) (msg *GradientMsg, ok bool) {
 			}
 		}
 	}
-	return &GradientMsg{Worker: worker, Step: step, Grad: part.grad}, true
+	return &GradientMsg{Worker: worker, Step: step, Loss: part.loss, Grad: part.grad}, true
+}
+
+// FlushFill force-completes the pending gradient for (worker, step), writing
+// fill(i) into every coordinate i whose packet never arrived, in ascending
+// coordinate order. Unlike Flush it bypasses the reassembler-wide policy and
+// rng, which is what lets a caller key the recoup values on external state —
+// cluster.UDPCluster seeds them per (run seed, step, worker) so a lossy round
+// stays a pure function of the configuration. ok=false means nothing was
+// pending.
+func (r *Reassembler) FlushFill(worker, step int, fill func(coord int) float64) (msg *GradientMsg, ok bool) {
+	key := [2]int{worker, step}
+	part, exists := r.pending[key]
+	if !exists {
+		return nil, false
+	}
+	delete(r.pending, key)
+	for i, got := range part.received {
+		if !got {
+			part.grad[i] = fill(i)
+		}
+	}
+	return &GradientMsg{Worker: worker, Step: step, Loss: part.loss, Grad: part.grad}, true
+}
+
+// Discard drops the pending gradient for (worker, step) without delivering
+// anything — the DropGradient deadline outcome, independent of the
+// reassembler-wide policy. It reports whether a partial was pending.
+func (r *Reassembler) Discard(worker, step int) bool {
+	key := [2]int{worker, step}
+	if _, exists := r.pending[key]; !exists {
+		return false
+	}
+	delete(r.pending, key)
+	return true
+}
+
+// Missing returns how many coordinates of the pending (worker, step) gradient
+// have not arrived yet; ok=false means no partial is pending under that key.
+func (r *Reassembler) Missing(worker, step int) (n int, ok bool) {
+	part, exists := r.pending[[2]int{worker, step}]
+	if !exists {
+		return 0, false
+	}
+	return part.missing, true
 }
 
 // Pending returns how many gradients are partially assembled.

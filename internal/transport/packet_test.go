@@ -84,6 +84,247 @@ func TestReassemblerDuplicatePacketsHarmless(t *testing.T) {
 	}
 }
 
+// TestReassemblerRejectsConflictingDim is the regression test for the
+// remote-crash bug: a Byzantine worker sending two individually
+// self-consistent packets for the same (worker, step) key but with
+// conflicting Dim values used to index the first packet's arrival mask out
+// of range — one hostile datagram panicked the server. Both orderings
+// (small-then-large and large-then-small) must now be rejected as malformed,
+// and the honest packets must still complete the gradient afterwards.
+func TestReassemblerRejectsConflictingDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	c := Codec{}
+	m := &GradientMsg{Worker: 3, Step: 7, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 256)
+	if len(packets) < 2 {
+		t.Fatalf("need >= 2 packets, got %d", len(packets))
+	}
+	asm := NewReassembler(FillNaN, nil)
+	if _, done := asm.Offer(&packets[0]); done {
+		t.Fatal("premature completion")
+	}
+	// Self-consistent hostile packet: same key, larger Dim, range far
+	// outside the pending partial's mask.
+	hostile := &Packet{Worker: 3, Step: 7, Dim: 1000, Offset: 900, Coords: randVec(rng, 50)}
+	if _, done := asm.Offer(hostile); done {
+		t.Fatal("hostile packet completed a gradient")
+	}
+	// Opposite ordering on a fresh key: large first, then a smaller Dim.
+	smaller := &Packet{Worker: 5, Step: 7, Dim: 10, Offset: 0, Coords: randVec(rng, 10)}
+	big := &Packet{Worker: 5, Step: 7, Dim: 1000, Offset: 0, Coords: randVec(rng, 50)}
+	if _, done := asm.Offer(big); done {
+		t.Fatal("premature completion")
+	}
+	if _, done := asm.Offer(smaller); done {
+		t.Fatal("conflicting-dim packet completed a gradient")
+	}
+	// The honest stream is unaffected by the rejected datagrams.
+	var got *GradientMsg
+	for i := 1; i < len(packets); i++ {
+		if msg, done := asm.Offer(&packets[i]); done {
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("honest gradient never completed after hostile packets")
+	}
+	for i := range m.Grad {
+		if got.Grad[i] != m.Grad[i] {
+			t.Fatalf("coord %d corrupted by hostile packets", i)
+		}
+	}
+}
+
+// TestReassemblerBoundsClaimedDim: the header's Dim field is
+// attacker-controlled, and the reassembler sizes its partial state by it — a
+// spoofed Dim near 2³² used to make the first Offer allocate tens of
+// gigabytes and abort the process. Dimensions beyond the bound are rejected
+// as malformed without allocating; tightening the bound to the deployment's
+// real dimension keeps honest traffic working.
+func TestReassemblerBoundsClaimedDim(t *testing.T) {
+	asm := NewReassembler(DropGradient, nil)
+	huge := &Packet{Worker: 1, Step: 1, Dim: 1<<31 - 1, Offset: 0, Coords: tensor.Vector{1}}
+	if _, done := asm.Offer(huge); done {
+		t.Fatal("huge-dim packet completed a gradient")
+	}
+	if asm.Pending() != 0 {
+		t.Fatal("huge-dim packet allocated partial state")
+	}
+
+	asm.SetMaxDim(100)
+	over := &Packet{Worker: 1, Step: 1, Dim: 101, Offset: 0, Coords: tensor.Vector{1}}
+	if _, done := asm.Offer(over); done || asm.Pending() != 0 {
+		t.Fatal("packet over the tightened bound was admitted")
+	}
+	rng := rand.New(rand.NewSource(25))
+	c := Codec{}
+	m := &GradientMsg{Worker: 2, Step: 2, Grad: randVec(rng, 100)}
+	var got *GradientMsg
+	for _, p := range c.Split(m, 256) {
+		if msg, done := asm.Offer(&p); done {
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("gradient at exactly the bound failed to assemble")
+	}
+}
+
+// TestReassemblerRejectsMalformedRange covers hand-built packets that never
+// went through DecodePacket's range validation: they must be dropped, not
+// indexed.
+func TestReassemblerRejectsMalformedRange(t *testing.T) {
+	asm := NewReassembler(DropGradient, nil)
+	for _, p := range []*Packet{
+		{Worker: 1, Step: 1, Dim: 10, Offset: 8, Coords: tensor.Vector{1, 2, 3}},
+		{Worker: 1, Step: 1, Dim: 10, Offset: -1, Coords: tensor.Vector{1}},
+		{Worker: 1, Step: 1, Dim: -5, Offset: 0, Coords: tensor.Vector{}},
+	} {
+		if _, done := asm.Offer(p); done {
+			t.Fatalf("malformed packet %+v completed a gradient", p)
+		}
+	}
+	if asm.Pending() != 0 {
+		t.Fatal("malformed packets left partial state behind")
+	}
+}
+
+// TestReassemblerCarriesLoss pins the wire bugfix: the loss metadata repeated
+// in every packet header must survive reassembly on the complete path, the
+// policy flush path and the explicit FlushFill path (it used to be silently
+// rebuilt as 0, diverging UDP loss trajectories from TCP and in-process).
+func TestReassemblerCarriesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := Codec{}
+	m := &GradientMsg{Worker: 2, Step: 5, Loss: 0.8125, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 128)
+	if len(packets) < 2 {
+		t.Fatalf("need >= 2 packets, got %d", len(packets))
+	}
+
+	asm := NewReassembler(FillNaN, nil)
+	var got *GradientMsg
+	for i := range packets {
+		if msg, done := asm.Offer(&packets[i]); done {
+			got = msg
+		}
+	}
+	if got == nil || got.Loss != 0.8125 {
+		t.Fatalf("complete path lost the loss metadata: %+v", got)
+	}
+
+	asm.Offer(&packets[0])
+	if msg, ok := asm.Flush(2, 5); !ok || msg.Loss != 0.8125 {
+		t.Fatalf("policy flush lost the loss metadata: %+v", msg)
+	}
+
+	asm.Offer(&packets[0])
+	if msg, ok := asm.FlushFill(2, 5, func(int) float64 { return 0 }); !ok || msg.Loss != 0.8125 {
+		t.Fatalf("FlushFill lost the loss metadata: %+v", msg)
+	}
+}
+
+// TestReassemblerRejectsConflictingLoss: the repeated metadata rule covers
+// the loss field too — packets disagreeing with the pending partial's loss
+// bits are malformed. NaN losses compare by bit pattern, so an honest NaN
+// loss still assembles.
+func TestReassemblerRejectsConflictingLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := Codec{}
+	m := &GradientMsg{Worker: 1, Step: 1, Loss: 2.5, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 128)
+	asm := NewReassembler(FillNaN, nil)
+	asm.Offer(&packets[0])
+	forged := packets[1]
+	forged.Loss = -99
+	if _, done := asm.Offer(&forged); done {
+		t.Fatal("conflicting-loss packet completed a gradient")
+	}
+	if missing, ok := asm.Missing(1, 1); !ok || missing != 100-len(packets[0].Coords) {
+		t.Fatalf("forged packet mutated the partial: missing=%d ok=%v", missing, ok)
+	}
+
+	nan := &GradientMsg{Worker: 9, Step: 9, Loss: math.NaN(), Grad: randVec(rng, 100)}
+	npk := c.Split(nan, 128)
+	var got *GradientMsg
+	for i := range npk {
+		if msg, done := asm.Offer(&npk[i]); done {
+			got = msg
+		}
+	}
+	if got == nil || !math.IsNaN(got.Loss) {
+		t.Fatalf("NaN-loss gradient failed to assemble: %+v", got)
+	}
+}
+
+// TestFlushFillDeterministicOrder pins that FlushFill visits missing
+// coordinates in ascending order — the property cluster recoup relies on to
+// make seed-derived fill values reproducible.
+func TestFlushFillDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := Codec{}
+	m := &GradientMsg{Worker: 4, Step: 2, Grad: randVec(rng, 120)}
+	packets := c.Split(m, 128)
+	if len(packets) < 3 {
+		t.Fatalf("need >= 3 packets, got %d", len(packets))
+	}
+	asm := NewReassembler(DropGradient, nil)
+	asm.Offer(&packets[1]) // only the middle packet arrives
+	var visited []int
+	msg, ok := asm.FlushFill(4, 2, func(coord int) float64 {
+		visited = append(visited, coord)
+		return float64(coord)
+	})
+	if !ok {
+		t.Fatal("FlushFill must deliver a pending partial")
+	}
+	for i := 1; i < len(visited); i++ {
+		if visited[i] <= visited[i-1] {
+			t.Fatalf("fill order not ascending: %v", visited)
+		}
+	}
+	for _, coord := range visited {
+		if msg.Grad[coord] != float64(coord) {
+			t.Fatalf("fill value misplaced at %d", coord)
+		}
+	}
+	off := packets[1].Offset
+	for i, x := range packets[1].Coords {
+		if msg.Grad[off+i] != x {
+			t.Fatalf("received coordinate %d altered", off+i)
+		}
+	}
+}
+
+// TestDiscardAndMissing covers the explicit settle API used by the UDP
+// cluster backend.
+func TestDiscardAndMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	c := Codec{}
+	m := &GradientMsg{Worker: 6, Step: 3, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 128)
+	asm := NewReassembler(FillNaN, nil)
+	if _, ok := asm.Missing(6, 3); ok {
+		t.Fatal("Missing reported a partial before any packet")
+	}
+	asm.Offer(&packets[0])
+	if missing, ok := asm.Missing(6, 3); !ok || missing != 100-len(packets[0].Coords) {
+		t.Fatalf("missing=%d ok=%v", missing, ok)
+	}
+	if !asm.Discard(6, 3) {
+		t.Fatal("Discard must report a pending partial")
+	}
+	if asm.Pending() != 0 {
+		t.Fatal("Discard must release the partial")
+	}
+	if asm.Discard(6, 3) {
+		t.Fatal("Discard with nothing pending must report false")
+	}
+	if _, ok := asm.FlushFill(6, 3, func(int) float64 { return 0 }); ok {
+		t.Fatal("FlushFill with nothing pending must report !ok")
+	}
+}
+
 func TestFlushFillNaN(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	c := Codec{}

@@ -253,6 +253,96 @@ func TestUDPIgnoresGarbageDatagrams(t *testing.T) {
 	}
 }
 
+// TestUDPDeadlineFlushOrderDeterministic is the regression test for the
+// determinism bug in the deadline path: with several partial gradients
+// pending when the timeout fires, the old code recouped whichever one Go's
+// randomized map iteration visited first. Flushes must happen in ascending
+// (worker, step) order, so repeated runs of the same loss pattern recoup the
+// same gradients in the same order with the same fill values.
+func TestUDPDeadlineFlushOrderDeterministic(t *testing.T) {
+	run := func() []int {
+		codec := Codec{}
+		recv, err := ListenUDP("127.0.0.1:0", codec, FillNaN, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer recv.Close()
+		send, err := DialUDP(recv.Addr(), codec, 256, 0, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer send.Close()
+
+		rng := rand.New(rand.NewSource(32))
+		// Five partial gradients: first packet only, rest "lost".
+		for _, worker := range []int{7, 3, 9, 1, 5} {
+			m := &GradientMsg{Worker: worker, Step: 2, Grad: randVec(rng, 200)}
+			packets := codec.Split(m, 256)
+			if err := send.SendPacket(&packets[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Register every partial before forcing deadlines (the packet-level
+		// ingest cannot flush anything).
+		asm := recv.Reassembler()
+		for recv.Pending() < 5 {
+			pkt, err := recv.RecvPacket(2 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, done := asm.Offer(pkt); done {
+				t.Fatal("a single packet completed a gradient")
+			}
+		}
+		var order []int
+		for i := 0; i < 5; i++ {
+			msg, err := recv.RecvGradient(20 * time.Millisecond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			order = append(order, msg.Worker)
+		}
+		return order
+	}
+	want := []int{1, 3, 5, 7, 9}
+	for attempt := 0; attempt < 3; attempt++ {
+		got := run()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("attempt %d: deadline flush order %v, want ascending %v", attempt, got, want)
+			}
+		}
+	}
+}
+
+// TestUDPGradientCarriesLossOverSocket pins the wire bugfix end to end: a
+// loss value survives the datagram round trip (it used to arrive as 0).
+func TestUDPGradientCarriesLossOverSocket(t *testing.T) {
+	codec := Codec{}
+	recv, err := ListenUDP("127.0.0.1:0", codec, DropGradient, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	send, err := DialUDP(recv.Addr(), codec, DefaultMTU, 0, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+	rng := rand.New(rand.NewSource(42))
+	want := &GradientMsg{Worker: 4, Step: 6, Loss: 1.375, Grad: randVec(rng, 5000)}
+	if err := send.SendGradient(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recv.RecvGradient(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != 1.375 {
+		t.Fatalf("loss %v arrived, want 1.375", got.Loss)
+	}
+}
+
 func TestUDPModelBroadcast(t *testing.T) {
 	codec := Codec{}
 	recv, err := ListenUDP("127.0.0.1:0", codec, FillNaN, 20)

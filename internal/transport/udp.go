@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sort"
 	"time"
 )
 
@@ -68,9 +69,21 @@ func (s *UDPSender) SendGradient(m *GradientMsg) error {
 		if s.dropRate > 0 && s.rng.Float64() < s.dropRate {
 			continue // the tc stand-in: this datagram "was lost"
 		}
-		if _, err := s.conn.Write(s.codec.EncodePacket(&p)); err != nil {
-			return fmt.Errorf("transport: udp write: %w", err)
+		if err := s.SendPacket(&p); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// SendPacket writes one already-split packet, bypassing the sender's own
+// drop injection. Callers that key loss on external state — the UDP cluster
+// backend drops per a (seed, step, worker)-derived schedule so both
+// endpoints can evaluate it — split with Codec.Split and push the surviving
+// packets through here.
+func (s *UDPSender) SendPacket(p *Packet) error {
+	if _, err := s.conn.Write(s.codec.EncodePacket(p)); err != nil {
+		return fmt.Errorf("transport: udp write: %w", err)
 	}
 	return nil
 }
@@ -138,9 +151,24 @@ func (r *UDPReceiver) RecvGradient(timeout time.Duration) (*GradientMsg, error) 
 	}
 }
 
-// flushAny recoups one pending gradient per the policy.
+// flushAny recoups one pending gradient per the policy. Partials are flushed
+// in ascending (worker, step) order — iterating the pending map directly
+// would let Go's randomized map order pick *which* partial a deadline
+// recoups first, and (under FillRandom's shared rng stream) with which
+// values, breaking the byte-reproducibility contract whenever several
+// gradients are pending at once.
 func (r *UDPReceiver) flushAny() (*GradientMsg, error) {
+	keys := make([][2]int, 0, len(r.asm.pending))
 	for key := range r.asm.pending {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
 		if msg, ok := r.asm.Flush(key[0], key[1]); ok {
 			return msg, nil
 		}
@@ -150,6 +178,37 @@ func (r *UDPReceiver) flushAny() (*GradientMsg, error) {
 	}
 	return nil, ErrTimeout
 }
+
+// RecvPacket reads datagrams until one decodes as a valid packet or the
+// timeout passes (malformed datagrams are skipped — a Byzantine peer can
+// send anything). The packet is NOT offered to the reassembler: callers that
+// drive reassembly explicitly (cluster.UDPCluster slots gradients by worker
+// id and recoups scheduled losses deterministically) pair RecvPacket with
+// Reassembler().Offer.
+func (r *UDPReceiver) RecvPacket(timeout time.Duration) (*Packet, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := r.conn.SetReadDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+		n, _, err := r.conn.ReadFromUDP(r.buf)
+		if err != nil {
+			if isTimeout(err) {
+				return nil, ErrTimeout
+			}
+			return nil, fmt.Errorf("transport: udp read: %w", err)
+		}
+		pkt, err := r.codec.DecodePacket(r.buf[:n])
+		if err != nil {
+			continue
+		}
+		return pkt, nil
+	}
+}
+
+// Reassembler exposes the receiver's reassembly state for callers that drive
+// packet collection explicitly through RecvPacket.
+func (r *UDPReceiver) Reassembler() *Reassembler { return r.asm }
 
 // RecvModel blocks until one model broadcast completes or the timeout
 // passes, with the same recoup semantics as RecvGradient. Datagrams not
