@@ -3,7 +3,9 @@ SMOKE_OUT ?= /tmp/aggregathor-scenario-smoke.json
 TCP_SMOKE_OUT ?= /tmp/aggregathor-scenario-tcp-smoke.json
 UDP_SMOKE_OUT ?= /tmp/aggregathor-scenario-udp-smoke.json
 
-.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp ci clean
+BENCH_JSON_DIR ?= .
+
+.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp bench-json ci clean
 
 all: ci
 
@@ -41,6 +43,12 @@ smoke-tcp:
 # with byte-reproducible JSON.
 smoke-udp:
 	$(GO) run ./cmd/scenario -builtin udp-smoke -out $(UDP_SMOKE_OUT)
+
+# Time the GAR kernel engine (fresh + workspace aggregation, distance
+# schedules) and write BENCH_aggregation.json — the perf trajectory to diff
+# across commits on the same machine.
+bench-json:
+	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
 ci: vet build race smoke smoke-tcp smoke-udp
 

@@ -7,7 +7,9 @@ package aggregathor
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
+	"time"
 
 	"aggregathor/internal/attack"
 	"aggregathor/internal/core"
@@ -424,6 +426,134 @@ func BenchmarkAblation_ParallelDistances(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := cfg.rule.Aggregate(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BlockedDistances compares the three pairwise-distance
+// schedules — the cache-blocked engine, the row-parallel streaming kernel,
+// and the sequential streaming kernel — at the paper's n=19 for the Fig-4
+// bench dimension and the full Table-1 dimension. Each sub-benchmark feeds
+// its measured kernel time into the Fig-4 latency model (Grid5000 round at
+// full scale) and reports the implied aggregation share of a round.
+func BenchmarkAblation_BlockedDistances(b *testing.B) {
+	const n, dFull = 19, 1_756_426
+	for _, d := range []int{200_000, dFull} {
+		grads := randGrads(15, n, d)
+		for _, cfg := range []struct {
+			name string
+			run  func() [][]float64
+		}{
+			{"blocked", func() [][]float64 {
+				var ws gar.Workspace
+				return gar.BlockedPairwiseSquaredDistances(grads, &ws, false)
+			}},
+			{"row-parallel", func() [][]float64 { return gar.PairwiseSquaredDistances(grads, false) }},
+			{"sequential", func() [][]float64 { return gar.PairwiseSquaredDistances(grads, true) }},
+		} {
+			cfg := cfg
+			b.Run(fmt.Sprintf("%s/d%d", cfg.name, d), func(b *testing.B) {
+				b.SetBytes(int64(n * d * 8))
+				for i := 0; i < b.N; i++ {
+					cfg.run()
+				}
+				b.StopTimer()
+				perRound := time.Duration(float64(b.Elapsed()) / float64(b.N) * float64(dFull) / float64(d))
+				sim := simnet.Grid5000(n, dFull)
+				sim.AggTime = perRound
+				round := sim.SimulateRound(100)
+				b.ReportMetric(round.Aggregate.Seconds()/round.Total().Seconds(), "fig4_agg_share")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_SelectMedian compares the selection/sorting-network
+// median kernel against the previous sort.Float64s path over per-coordinate
+// columns at the paper's n=19 and a wide n=99 deployment. The measured
+// per-column cost is extrapolated to the Table-1 dimension and reported as
+// the modelled Fig-4 median-GAR seconds.
+func BenchmarkAblation_SelectMedian(b *testing.B) {
+	const cols, dFull = 100_000, 1_756_426
+	for _, n := range []int{19, 99} {
+		data := make([]float64, cols*n)
+		rng := rand.New(rand.NewSource(16))
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		scratch := make([]float64, n)
+		net := tensor.SortNetPairs(n)
+		for _, cfg := range []struct {
+			name string
+			run  func(col []float64) float64
+		}{
+			{"quickselect", func(col []float64) float64 {
+				copy(scratch, col)
+				return tensor.MedianInPlace(scratch)
+			}},
+			{"sortnet", func(col []float64) float64 {
+				copy(scratch, col)
+				ctx := tensor.ColumnKernelCtx{Col: scratch, Net: net}
+				return tensor.MedianKernel(&ctx, 0, 0)
+			}},
+			{"sort", func(col []float64) float64 {
+				copy(scratch, col)
+				sort.Float64s(scratch)
+				mid := n / 2
+				if n%2 == 1 {
+					return scratch[mid]
+				}
+				return scratch[mid-1]/2 + scratch[mid]/2
+			}},
+		} {
+			cfg := cfg
+			b.Run(fmt.Sprintf("%s/n%d", cfg.name, n), func(b *testing.B) {
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					col := data[(i%cols)*n : (i%cols+1)*n]
+					sink = cfg.run(col)
+				}
+				b.StopTimer()
+				_ = sink
+				perCol := float64(b.Elapsed()) / float64(b.N)
+				b.ReportMetric(perCol, "ns_per_column")
+				b.ReportMetric(perCol*dFull/1e9, "fig4_median_agg_s")
+			})
+		}
+	}
+}
+
+// BenchmarkAblation_Workspace quantifies the zero-allocation workspace path
+// against the fresh-allocation Aggregate for the hot rules.
+func BenchmarkAblation_Workspace(b *testing.B) {
+	const n, d = 19, 100_000
+	grads := randGrads(17, n, d)
+	for _, cfg := range []struct {
+		name string
+		rule gar.GAR
+	}{
+		{"median", gar.Median{}},
+		{"multi-krum", gar.NewMultiKrum(4)},
+		{"bulyan", gar.NewBulyan(4)},
+	} {
+		cfg := cfg
+		b.Run("fresh/"+cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(n * d * 8))
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.rule.Aggregate(grads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("workspace/"+cfg.name, func(b *testing.B) {
+			ws := gar.NewWorkspace()
+			b.SetBytes(int64(n * d * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gar.AggregateInto(ws, cfg.rule, grads); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -3,6 +3,14 @@
 // (fewer steps) or -out DIR to also write per-figure TSV files.
 //
 //	go run ./cmd/bench -quick
+//
+// With -json the command instead times the GAR kernel engine (per-benchmark
+// ns/op, MB/s, allocs/op for every hot aggregation rule, fresh and
+// workspace-backed, plus the three pairwise-distance schedules) and writes
+// BENCH_aggregation.json into the -out directory (default ".") — the
+// tracked perf-trajectory artifact that CI uploads on every run:
+//
+//	go run ./cmd/bench -json
 package main
 
 import (
@@ -22,9 +30,11 @@ import (
 )
 
 var (
-	quick  = flag.Bool("quick", false, "run fewer steps per experiment")
-	outDir = flag.String("out", "", "directory for TSV series (optional)")
-	seed   = flag.Int64("seed", 3, "experiment seed")
+	quick     = flag.Bool("quick", false, "run fewer steps per experiment")
+	outDir    = flag.String("out", "", "directory for TSV series / bench JSON (optional)")
+	seed      = flag.Int64("seed", 3, "experiment seed")
+	jsonBench = flag.Bool("json", false, "time the GAR kernels and write BENCH_aggregation.json instead of regenerating figures")
+	benchTime = flag.Duration("benchtime", 300*time.Millisecond, "per-kernel time budget in -json mode")
 )
 
 func main() {
@@ -37,6 +47,12 @@ func main() {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fatal(err)
 		}
+	}
+	if *jsonBench {
+		if err := writeKernelBenchJSON(); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	table1()

@@ -93,6 +93,7 @@ type TCPCluster struct {
 
 	server *nn.Network
 	params tensor.Vector
+	ws     *gar.Workspace // per-cluster aggregation scratch arena
 	step   int
 
 	// dead marks identified workers whose connection is gone; suspected
@@ -145,6 +146,7 @@ func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
 		workerErrs: make(chan error, cfg.Workers),
 		dead:       map[int]bool{},
 		suspected:  map[int]bool{},
+		ws:         gar.NewWorkspace(),
 	}
 	c.params = c.server.ParamsVector()
 	return c, nil
@@ -376,7 +378,7 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 	// Aggregation + descent phase, mirroring the in-process Cluster: a
 	// round whose survivor count violates the GAR's quorum is skipped, not
 	// deadlocked.
-	agg, err := c.cfg.GAR.Aggregate(received)
+	agg, err := gar.AggregateInto(c.ws, c.cfg.GAR, received)
 	if err != nil {
 		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
 			res.Skipped = true

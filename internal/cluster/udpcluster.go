@@ -104,6 +104,7 @@ type UDPCluster struct {
 
 	server *nn.Network
 	params tensor.Vector
+	ws     *gar.Workspace // per-cluster aggregation scratch arena
 	step   int
 
 	// suspected marks workers that missed a round deadline and are no
@@ -162,6 +163,7 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 		server:     cfg.ModelFactory(),
 		workerErrs: make(chan error, cfg.Workers),
 		suspected:  map[int]bool{},
+		ws:         gar.NewWorkspace(),
 	}
 	c.params = c.server.ParamsVector()
 	return c, nil
@@ -480,7 +482,7 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 
 	// Aggregation + descent phase, mirroring the TCP backend: a round whose
 	// survivor count violates the GAR's quorum is skipped, not deadlocked.
-	agg, err := c.cfg.GAR.Aggregate(received)
+	agg, err := gar.AggregateInto(c.ws, c.cfg.GAR, received)
 	if err != nil {
 		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
 			res.Skipped = true

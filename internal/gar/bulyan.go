@@ -3,9 +3,7 @@ package gar
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"aggregathor/internal/tensor"
 )
@@ -17,19 +15,23 @@ import (
 //
 // Requirements (Theorem 2): n ≥ 4f+3 for strong Byzantine resilience.
 //
-// The implementation follows the paper's optimisation: the O(n²d) pairwise
-// distance matrix is computed once on the first iteration, and subsequent
-// iterations only recompute scores over the shrinking active set ("the next
-// iterations only update the scores"). The coordinate-wise median/average
-// pass is parallelised over coordinate ranges. Setting Naive recomputes
-// distances from scratch every iteration — kept for the ablation benchmark.
+// The implementation follows the paper's optimisation — "the next iterations
+// only update the scores" — done properly: the O(n²d) pairwise distance
+// matrix is computed once by the cache-blocked engine, each gradient keeps
+// its distances-to-others as a sorted row, and when an iteration extracts a
+// gradient the remaining rows just delete one value (binary search + shift)
+// instead of being rebuilt and re-sorted. Scores stay bit-identical to the
+// re-sorting implementation because each is the ascending sum of the same
+// shrinking multiset. The coordinate-wise median/average pass runs on the
+// shared blocked column engine. Setting Naive recomputes distances from
+// scratch every iteration — kept for the ablation benchmark.
 type Bulyan struct {
 	// NumByzantine is f, the number of Byzantine workers tolerated.
 	NumByzantine int
 	// Naive disables the distance-matrix reuse optimisation.
 	Naive bool
-	// Sequential disables both the parallel distance computation and the
-	// parallel coordinate-wise pass.
+	// Sequential confines the blocked distance sweep and the coordinate-
+	// wise pass to the calling goroutine (bit-identical output either way).
 	Sequential bool
 }
 
@@ -54,20 +56,31 @@ func (b *Bulyan) Beta(n int) int { return b.Theta(n) - 2*b.NumByzantine }
 
 // Aggregate implements GAR.
 func (b *Bulyan) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
-	sel, err := b.Select(grads)
+	return aggregateFresh(b, grads)
+}
+
+// AggregateInto implements WorkspaceGAR.
+func (b *Bulyan) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
+	sel, err := b.selectInto(ws, grads)
 	if err != nil {
 		return nil, err
 	}
-	picked := make([]tensor.Vector, len(sel))
-	for i, idx := range sel {
-		picked[i] = grads[idx]
+	picked := ws.ensurePicked(len(grads))
+	for _, idx := range sel {
+		picked = append(picked, grads[idx])
 	}
-	return b.coordinateAggregate(picked, b.Beta(len(grads))), nil
+	return b.coordinateAggregateInto(ws, picked, b.Beta(len(grads))), nil
 }
 
 // Select runs the θ = n−2f Multi-Krum extraction iterations and returns the
 // indexes of the extracted gradients, in extraction order.
 func (b *Bulyan) Select(grads []tensor.Vector) ([]int, error) {
+	var ws Workspace
+	return b.selectInto(&ws, grads)
+}
+
+// selectInto is Select on workspace buffers; the returned slice aliases ws.
+func (b *Bulyan) selectInto(ws *Workspace, grads []tensor.Vector) ([]int, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
@@ -82,14 +95,24 @@ func (b *Bulyan) Select(grads []tensor.Vector) ([]int, error) {
 		return b.selectNaive(grads, theta)
 	}
 
-	// Distance matrix computed once; iterations below only rescore.
-	dist := PairwiseSquaredDistances(grads, b.Sequential)
-	active := make([]int, n)
+	// Distance matrix computed once; each gradient's distances to the
+	// others are kept as a sorted row so iterations only read prefixes and
+	// delete single values.
+	dist := BlockedPairwiseSquaredDistances(grads, ws, b.Sequential)
+	rows, active, selected := ws.ensureBulyan(n)
+	for i := 0; i < n; i++ {
+		r := rows[i][:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				r = append(r, dist[i][j])
+			}
+		}
+		tensor.SortFloats(r)
+		rows[i] = r
+	}
 	for i := range active {
 		active[i] = i
 	}
-	selected := make([]int, 0, theta)
-	row := make([]float64, 0, n)
 	for len(selected) < theta {
 		na := len(active)
 		k := na - f - 2
@@ -101,19 +124,13 @@ func (b *Bulyan) Select(grads []tensor.Vector) ([]int, error) {
 		}
 		bestIdx, bestScore := -1, math.Inf(1)
 		for ai, gi := range active {
-			row = row[:0]
-			for aj, gj := range active {
-				if ai != aj {
-					row = append(row, dist[gi][gj])
-				}
-			}
-			sort.Float64s(row)
-			var s float64
+			r := rows[gi]
 			hi := k
-			if hi > len(row) {
-				hi = len(row)
+			if hi > len(r) {
+				hi = len(r)
 			}
-			for _, d := range row[:hi] {
+			var s float64
+			for _, d := range r[:hi] {
 				s += d
 			}
 			if math.IsNaN(s) {
@@ -127,16 +144,31 @@ func (b *Bulyan) Select(grads []tensor.Vector) ([]int, error) {
 				bestIdx, bestScore = ai, s
 			}
 		}
-		selected = append(selected, active[bestIdx])
+		gBest := active[bestIdx]
+		selected = append(selected, gBest)
 		active = append(active[:bestIdx], active[bestIdx+1:]...)
+		// The extracted gradient leaves the active set: delete its
+		// distance from every remaining sorted row. SquaredDistance
+		// never yields NaN (it saturates to +Inf), so binary search over
+		// the sorted row always finds the exact value.
+		for _, gi := range active {
+			r := rows[gi]
+			v := dist[gi][gBest]
+			pos := sort.SearchFloat64s(r, v)
+			copy(r[pos:], r[pos+1:])
+			rows[gi] = r[:len(r)-1]
+		}
 	}
 	return selected, nil
 }
 
 // selectNaive is the unoptimised reference path: a fresh Krum (m=1) over the
-// remaining vectors each iteration, recomputing all pairwise distances.
+// remaining vectors each iteration, recomputing all pairwise distances with
+// the same blocked kernel as the optimised path (so the two paths see
+// identical per-pair values and stay selection-equivalent).
 func (b *Bulyan) selectNaive(grads []tensor.Vector, theta int) ([]int, error) {
 	f := b.NumByzantine
+	var ws Workspace
 	remaining := make([]int, len(grads))
 	for i := range remaining {
 		remaining[i] = i
@@ -147,7 +179,7 @@ func (b *Bulyan) selectNaive(grads []tensor.Vector, theta int) ([]int, error) {
 		for i, idx := range remaining {
 			sub[i] = grads[idx]
 		}
-		dist := PairwiseSquaredDistances(sub, b.Sequential)
+		dist := BlockedPairwiseSquaredDistances(sub, &ws, b.Sequential)
 		na := len(sub)
 		k := na - f - 2
 		if k < 1 {
@@ -162,7 +194,7 @@ func (b *Bulyan) selectNaive(grads []tensor.Vector, theta int) ([]int, error) {
 					row = append(row, dist[i][j])
 				}
 			}
-			sort.Float64s(row)
+			tensor.SortFloats(row)
 			var s float64
 			hi := k
 			if hi > len(row) {
@@ -213,61 +245,23 @@ func lexLess(a, b tensor.Vector) bool {
 
 // coordinateAggregate performs the second BULYAN phase: for each coordinate,
 // take the median of the selected vectors and average the beta values
-// closest to it. The coordinate loop is split across GOMAXPROCS goroutines.
+// closest to it. Runs on a transient workspace; the hot path uses
+// coordinateAggregateInto.
 func (b *Bulyan) coordinateAggregate(picked []tensor.Vector, beta int) tensor.Vector {
+	var ws Workspace
+	return b.coordinateAggregateInto(&ws, picked, beta)
+}
+
+// coordinateAggregateInto runs the median/closest-average pass on the shared
+// blocked column engine, tiled and parallel over coordinate ranges.
+func (b *Bulyan) coordinateAggregateInto(ws *Workspace, picked []tensor.Vector, beta int) tensor.Vector {
 	if beta < 1 {
 		beta = 1
 	}
 	if beta > len(picked) {
 		beta = len(picked)
 	}
-	d := picked[0].Dim()
-	out := tensor.NewVector(d)
-	process := func(lo, hi int) {
-		col := make([]float64, len(picked))
-		for j := lo; j < hi; j++ {
-			for i, v := range picked {
-				col[i] = v[j]
-			}
-			med := tensor.Median(col)
-			if math.IsNaN(med) {
-				out[j] = 0 // every selected value was NaN: null update
-				continue
-			}
-			closest := tensor.ClosestToPivot(col, med, beta)
-			var s float64
-			var cnt int
-			for _, idx := range closest {
-				if !math.IsNaN(col[idx]) && !math.IsInf(col[idx], 0) {
-					s += col[idx]
-					cnt++
-				}
-			}
-			if cnt == 0 {
-				out[j] = med
-			} else {
-				out[j] = s / float64(cnt)
-			}
-		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if b.Sequential || workers <= 1 || d < 1024 {
-		process(0, d)
-		return out
-	}
-	chunk := (d + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < d; lo += chunk {
-		hi := lo + chunk
-		if hi > d {
-			hi = d
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			process(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	out := ws.ensureOut(picked[0].Dim())
+	ws.cols.Run(out, picked, beta, tensor.MeanAroundMedianKernel, !b.Sequential)
 	return out
 }

@@ -71,11 +71,18 @@ type Average struct{}
 func (Average) Name() string { return "average" }
 
 // Aggregate implements GAR.
-func (Average) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+func (a Average) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(a, grads)
+}
+
+// AggregateInto implements WorkspaceGAR.
+func (Average) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
-	return tensor.Mean(grads), nil
+	out := ws.ensureOut(grads[0].Dim())
+	tensor.MeanInto(out, grads)
+	return out, nil
 }
 
 // SelectiveAverage is the §3.3 "selective averaging" rule: a coordinate-wise
@@ -87,11 +94,19 @@ type SelectiveAverage struct{}
 func (SelectiveAverage) Name() string { return "selective-average" }
 
 // Aggregate implements GAR.
-func (SelectiveAverage) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+func (s SelectiveAverage) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(s, grads)
+}
+
+// AggregateInto implements WorkspaceGAR: the NaN-skipping mean runs on the
+// blocked column engine, tiled and parallel over coordinate ranges.
+func (SelectiveAverage) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
-	return tensor.NaNMean(grads), nil
+	out := ws.ensureOut(grads[0].Dim())
+	ws.cols.Run(out, grads, 0, tensor.NaNMeanKernel, true)
+	return out, nil
 }
 
 // Median is the coordinate-wise median rule evaluated in the paper as the
@@ -104,11 +119,19 @@ type Median struct{}
 func (Median) Name() string { return "median" }
 
 // Aggregate implements GAR.
-func (Median) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+func (m Median) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(m, grads)
+}
+
+// AggregateInto implements WorkspaceGAR: the per-coordinate median runs as
+// a selection (not a sort) on the blocked column engine.
+func (Median) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
-	return tensor.CoordinateMedian(grads), nil
+	out := ws.ensureOut(grads[0].Dim())
+	ws.cols.Run(out, grads, 0, tensor.MedianKernel, true)
+	return out, nil
 }
 
 // TrimmedMean is the coordinate-wise trimmed mean rule (Yin et al. 2018):
@@ -130,6 +153,12 @@ func (t TrimmedMean) MinWorkers() int { return 2*t.Beta + 1 }
 
 // Aggregate implements GAR.
 func (t TrimmedMean) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(t, grads)
+}
+
+// AggregateInto implements WorkspaceGAR: the per-coordinate trim runs as a
+// selection (not a sort) on the blocked column engine.
+func (t TrimmedMean) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
@@ -137,5 +166,7 @@ func (t TrimmedMean) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
 		return nil, fmt.Errorf("%w: trimmed-mean(b=%d) needs n >= %d, got %d",
 			ErrTooFewWorkers, t.Beta, t.MinWorkers(), len(grads))
 	}
-	return tensor.TrimmedMean(grads, t.Beta), nil
+	out := ws.ensureOut(grads[0].Dim())
+	ws.cols.Run(out, grads, t.Beta, tensor.TrimmedMeanKernel, true)
+	return out, nil
 }

@@ -19,18 +19,20 @@ import (
 // Requirements (Theorem 1): n ≥ 2f+3 and 1 ≤ m ≤ n−f−2 for weak Byzantine
 // resilience. With m = 1 this is the original Krum rule of Blanchard et al.
 //
-// The distance computation — the O(n²d) hot path — is parallelised across
-// GOMAXPROCS goroutines, matching the paper's "fast, memory scarce
-// implementation ... fully parallelizing each of the computational-heavy
-// steps".
+// The distance computation — the O(n²d) hot path — runs on the cache-
+// blocked engine (BlockedPairwiseSquaredDistances): coordinate blocks swept
+// once across the whole upper triangle, parallel over block indexes,
+// matching the paper's "fast, memory scarce implementation ... fully
+// parallelizing each of the computational-heavy steps".
 type MultiKrum struct {
 	// NumByzantine is f, the number of Byzantine workers tolerated.
 	NumByzantine int
 	// M is the selection size m. If 0, the maximal safe value n−f−2 is
 	// used at aggregation time ("adaptive" Multi-Krum).
 	M int
-	// Sequential disables the parallel distance computation. It exists
-	// for the ablation benchmark; production use should leave it false.
+	// Sequential confines the blocked distance sweep to the calling
+	// goroutine (the result is bit-identical either way). It exists for
+	// the ablation benchmark; production use should leave it false.
 	Sequential bool
 }
 
@@ -67,20 +69,34 @@ func (k *MultiKrum) EffectiveM(n int) int {
 
 // Aggregate implements GAR.
 func (k *MultiKrum) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
-	sel, err := k.Select(grads)
+	return aggregateFresh(k, grads)
+}
+
+// AggregateInto implements WorkspaceGAR: blocked distances, selection-based
+// scoring and the selected-set mean all run on workspace buffers.
+func (k *MultiKrum) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
+	sel, err := k.selectInto(ws, grads)
 	if err != nil {
 		return nil, err
 	}
-	picked := make([]tensor.Vector, len(sel))
-	for i, idx := range sel {
-		picked[i] = grads[idx]
+	picked := ws.ensurePicked(len(sel))
+	for _, idx := range sel {
+		picked = append(picked, grads[idx])
 	}
-	return tensor.Mean(picked), nil
+	out := ws.ensureOut(grads[0].Dim())
+	tensor.MeanInto(out, picked)
+	return out, nil
 }
 
 // Select returns the indexes of the m smallest-scoring gradients, ordered by
 // ascending score. It validates the n ≥ 2f+3 and m ≤ n−f−2 requirements.
 func (k *MultiKrum) Select(grads []tensor.Vector) ([]int, error) {
+	var ws Workspace
+	return k.selectInto(&ws, grads)
+}
+
+// selectInto is Select on workspace buffers; the returned slice aliases ws.
+func (k *MultiKrum) selectInto(ws *Workspace, grads []tensor.Vector) ([]int, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
@@ -95,9 +111,9 @@ func (k *MultiKrum) Select(grads []tensor.Vector) ([]int, error) {
 		return nil, fmt.Errorf("gar: multi-krum m=%d out of range [1, %d] for n=%d f=%d",
 			m, n-f-2, n, f)
 	}
-	dist := PairwiseSquaredDistances(grads, k.Sequential)
-	scores := KrumScores(dist, n, f)
-	return tensor.SmallestK(scores, m), nil
+	dist := BlockedPairwiseSquaredDistances(grads, ws, k.Sequential)
+	scores := krumScoresInto(ws, dist, n, f)
+	return tensor.SmallestKInto(ws.ensureSelIdx(n), scores, m), nil
 }
 
 // Scores returns the Krum score of every gradient (sum of squared distances
@@ -111,14 +127,21 @@ func (k *MultiKrum) Scores(grads []tensor.Vector) ([]float64, error) {
 		return nil, fmt.Errorf("%w: multi-krum(f=%d) needs n >= %d, got %d",
 			ErrTooFewWorkers, k.NumByzantine, k.MinWorkers(), n)
 	}
-	dist := PairwiseSquaredDistances(grads, k.Sequential)
-	return KrumScores(dist, n, k.NumByzantine), nil
+	var ws Workspace
+	dist := BlockedPairwiseSquaredDistances(grads, &ws, k.Sequential)
+	return krumScoresInto(&ws, dist, n, k.NumByzantine), nil
 }
 
 // PairwiseSquaredDistances computes the symmetric n×n matrix of squared
 // Euclidean distances, with non-finite coordinates saturating to +Inf. When
 // sequential is false the upper triangle is partitioned across
 // min(GOMAXPROCS, n) goroutines.
+//
+// This is the row-streaming reference kernel: each gradient is re-read once
+// per pair. The hot path uses BlockedPairwiseSquaredDistances, which
+// produces the same matrix (within per-pair summation-order ulps, with
+// identical non-finite saturation) from cache-blocked sweeps; this form is
+// kept as the equivalence-test reference and the ablation baseline.
 func PairwiseSquaredDistances(grads []tensor.Vector, sequential bool) [][]float64 {
 	n := len(grads)
 	dist := make([][]float64, n)

@@ -2,7 +2,6 @@ package gar
 
 import (
 	"fmt"
-	"math"
 
 	"aggregathor/internal/tensor"
 )
@@ -116,6 +115,13 @@ func (m *MeanAroundMedian) MinWorkers() int { return 2*m.NumByzantine + 1 }
 
 // Aggregate implements GAR.
 func (m *MeanAroundMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(m, grads)
+}
+
+// AggregateInto implements WorkspaceGAR: the median/closest-average pass is
+// the same blocked column-engine kernel Bulyan's second phase uses, tiled
+// and parallel over coordinate ranges.
+func (m *MeanAroundMedian) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
@@ -124,34 +130,8 @@ func (m *MeanAroundMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, erro
 		return nil, fmt.Errorf("%w: mean-around-median(f=%d) needs n >= %d, got %d",
 			ErrTooFewWorkers, m.NumByzantine, m.MinWorkers(), n)
 	}
-	keep := n - m.NumByzantine
-	d := grads[0].Dim()
-	out := tensor.NewVector(d)
-	col := make([]float64, n)
-	for j := 0; j < d; j++ {
-		for i, g := range grads {
-			col[i] = g[j]
-		}
-		med := tensor.Median(col)
-		if math.IsNaN(med) {
-			out[j] = 0
-			continue
-		}
-		closest := tensor.ClosestToPivot(col, med, keep)
-		var s float64
-		var cnt int
-		for _, idx := range closest {
-			if !math.IsNaN(col[idx]) && !math.IsInf(col[idx], 0) {
-				s += col[idx]
-				cnt++
-			}
-		}
-		if cnt == 0 {
-			out[j] = med
-		} else {
-			out[j] = s / float64(cnt)
-		}
-	}
+	out := ws.ensureOut(grads[0].Dim())
+	ws.cols.Run(out, grads, n-m.NumByzantine, tensor.MeanAroundMedianKernel, true)
 	return out, nil
 }
 

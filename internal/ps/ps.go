@@ -97,6 +97,7 @@ type Cluster struct {
 	params   tensor.Vector
 	replicas []*nn.Network
 	rngs     []*rand.Rand
+	ws       *gar.Workspace // per-trainer aggregation scratch arena
 	step     int
 	hijacked bool
 }
@@ -140,7 +141,7 @@ func New(cfg Config) (*Cluster, error) {
 				cfg.GAR.Name(), info.F(), info.MinWorkers(), len(cfg.Workers))
 		}
 	}
-	c := &Cluster{cfg: cfg, server: cfg.ModelFactory()}
+	c := &Cluster{cfg: cfg, server: cfg.ModelFactory(), ws: gar.NewWorkspace()}
 	c.params = c.server.ParamsVector()
 	c.replicas = make([]*nn.Network, len(cfg.Workers))
 	c.rngs = make([]*rand.Rand, len(cfg.Workers))
@@ -275,8 +276,11 @@ func (c *Cluster) Step() (*StepResult, error) {
 		res.Loss = lossSum / float64(lossN)
 	}
 
-	// Aggregation + descent phase.
-	agg, err := c.cfg.GAR.Aggregate(received)
+	// Aggregation + descent phase. The workspace-backed kernels reuse the
+	// cluster's scratch arena, so the steady-state aggregation performs no
+	// heap allocations; agg aliases the workspace and is consumed (applied
+	// to the params) before the next round touches it.
+	agg, err := gar.AggregateInto(c.ws, c.cfg.GAR, received)
 	if err != nil {
 		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
 			res.Skipped = true

@@ -29,6 +29,7 @@ type ReplicatedCluster struct {
 	workers    []*nn.Network
 	rngs       []*rand.Rand
 	byzReplica map[int]bool
+	ws         *gar.Workspace // shared aggregation scratch arena
 	step       int
 }
 
@@ -90,7 +91,7 @@ func NewReplicated(cfg ReplicatedConfig) (*ReplicatedCluster, error) {
 		return nil, fmt.Errorf("ps: %d Byzantine replicas need R >= %d, got %d",
 			len(byz), 3*len(byz)+1, cfg.ServerReplicas)
 	}
-	c := &ReplicatedCluster{cfg: cfg, byzReplica: byz}
+	c := &ReplicatedCluster{cfg: cfg, byzReplica: byz, ws: gar.NewWorkspace()}
 	c.replicas = make([]*serverReplica, cfg.ServerReplicas)
 	for r := range c.replicas {
 		model := cfg.ModelFactory()
@@ -210,7 +211,7 @@ func (c *ReplicatedCluster) Step() (*StepResult, error) {
 
 	// Descent phase: every correct replica applies the same deterministic
 	// GAR + optimizer, so they stay in lockstep.
-	agg, err := c.cfg.GAR.Aggregate(received)
+	agg, err := gar.AggregateInto(c.ws, c.cfg.GAR, received)
 	if err != nil {
 		if errors.Is(err, gar.ErrTooFewWorkers) || errors.Is(err, gar.ErrNoGradients) {
 			res.Skipped = true

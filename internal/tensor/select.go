@@ -26,13 +26,15 @@ func ArgsortAscending(xs []float64) []int {
 	return idx
 }
 
-// SmallestK returns the indexes of the k smallest values in xs (NaN last).
-// It panics if k is out of range.
+// SmallestK returns the indexes of the k smallest values in xs (NaN last,
+// ties by ascending index — the ArgsortAscending order). It panics if k is
+// out of range. Hot paths with caller-provided scratch should use
+// SmallestKInto; this convenience form allocates the index slice.
 func SmallestK(xs []float64, k int) []int {
 	if k < 0 || k > len(xs) {
 		panic("tensor: SmallestK k out of range")
 	}
-	return ArgsortAscending(xs)[:k]
+	return SmallestKInto(make([]int, len(xs)), xs, k)
 }
 
 // ArgMin returns the index of the smallest value in xs (NaN treated as +Inf).
@@ -58,91 +60,96 @@ func Median(xs []float64) float64 {
 	if len(xs) == 0 {
 		panic("tensor: Median of empty slice")
 	}
-	clean := make([]float64, 0, len(xs))
-	for _, x := range xs {
-		if !math.IsNaN(x) {
-			clean = append(clean, x)
-		}
-	}
-	if len(clean) == 0 {
-		return math.NaN()
-	}
-	sort.Float64s(clean)
-	mid := len(clean) / 2
-	if len(clean)%2 == 1 {
-		return clean[mid]
-	}
-	return midpoint(clean[mid-1], clean[mid])
+	scratch := make([]float64, len(xs))
+	copy(scratch, xs)
+	return MedianInPlace(scratch)
 }
 
 // midpoint averages a and b without overflowing near ±MaxFloat64.
 func midpoint(a, b float64) float64 { return a/2 + b/2 }
 
-// MedianInPlace is Median without the defensive copy: it sorts xs. Use it on
-// scratch buffers in hot loops (Bulyan's coordinate-wise pass).
+// MedianInPlace is Median without the defensive copy: it partially reorders
+// xs (a deterministic selection, not a full sort). Use it on scratch buffers
+// in hot loops — it is the median kernel behind the coordinate-wise rules.
 func MedianInPlace(xs []float64) float64 {
 	if len(xs) == 0 {
 		panic("tensor: MedianInPlace of empty slice")
 	}
-	sort.Float64s(xs) // NaNs sort to the front in sort.Float64s
-	// Skip leading NaNs.
-	lo := 0
-	for lo < len(xs) && math.IsNaN(xs[lo]) {
-		lo++
-	}
-	if lo == len(xs) {
+	// NaNs are swapped out once so the selection runs NaN-free with plain
+	// < compares; the clean median sits at rank m/2 (and m/2−1 for even m)
+	// of the remaining values.
+	nn := moveNaNsFront(xs)
+	clean := xs[nn:]
+	if len(clean) == 0 {
 		return math.NaN()
 	}
-	clean := xs[lo:]
-	mid := len(clean) / 2
-	if len(clean)%2 == 1 {
-		return clean[mid]
+	return medianCleanSelect(clean)
+}
+
+// medianCleanSelect computes the median of NaN-free xs by deterministic
+// selection, partially reordering xs.
+func medianCleanSelect(clean []float64) float64 {
+	m := len(clean)
+	pos := m / 2
+	partialSelectNoNaN(clean, pos+1)
+	prefix := clean[:pos+1]
+	if m%2 == 1 {
+		hi := prefix[0]
+		for _, x := range prefix[1:] {
+			if hi < x {
+				hi = x
+			}
+		}
+		return hi
 	}
-	return midpoint(clean[mid-1], clean[mid])
+	// Even m: the two largest values of the prefix are the two middles
+	// (m ≥ 2 guarantees the prefix holds at least two values, so the -Inf
+	// seeds can only survive when the middles really are -Inf).
+	hi1, hi2 := math.Inf(-1), math.Inf(-1) // hi1 ≥ hi2
+	for _, x := range prefix {
+		if hi1 < x {
+			hi2 = hi1
+			hi1 = x
+		} else if hi2 < x {
+			hi2 = x
+		}
+	}
+	return midpoint(hi2, hi1)
 }
 
 // ClosestToPivot returns the indexes of the k values in xs closest to pivot
 // by absolute difference. Non-finite distances rank last. It panics if k is
-// out of range.
+// out of range. Hot paths should use ClosestToPivotInto with caller scratch.
 func ClosestToPivot(xs []float64, pivot float64, k int) []int {
 	if k < 0 || k > len(xs) {
 		panic("tensor: ClosestToPivot k out of range")
 	}
-	dist := make([]float64, len(xs))
-	for i, x := range xs {
-		d := math.Abs(x - pivot)
-		if math.IsNaN(d) {
-			d = math.Inf(1)
-		}
-		dist[i] = d
-	}
-	return SmallestK(dist, k)
+	return ClosestToPivotInto(make([]int, len(xs)), make([]float64, len(xs)), xs, pivot, k)
 }
 
 // CoordinateMedian returns the coordinate-wise median of vs, the Median GAR
-// kernel (Xie et al. 2018). It panics if vs is empty or dimensions mismatch.
+// kernel (Xie et al. 2018). The pass is tiled and parallelised by the column
+// engine. It panics if vs is empty or dimensions mismatch.
 func CoordinateMedian(vs []Vector) Vector {
 	if len(vs) == 0 {
 		panic("tensor: CoordinateMedian of empty vector set")
 	}
 	d := len(vs[0])
-	out := NewVector(d)
-	col := make([]float64, len(vs))
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			if len(v) != d {
-				panic("tensor: CoordinateMedian dimension mismatch")
-			}
-			col[i] = v[j]
+	for _, v := range vs {
+		if len(v) != d {
+			panic("tensor: CoordinateMedian dimension mismatch")
 		}
-		out[j] = MedianInPlace(col)
 	}
+	out := NewVector(d)
+	var e ColumnEngine
+	e.Run(out, vs, 0, MedianKernel, true)
 	return out
 }
 
 // TrimmedMean returns the coordinate-wise mean of vs after discarding the b
-// largest and b smallest values in each coordinate (Yin et al. 2018). It
-// panics if 2b >= len(vs).
+// largest and b smallest values in each coordinate (Yin et al. 2018). The
+// pass is tiled and parallelised by the column engine. It panics if
+// 2b >= len(vs).
 func TrimmedMean(vs []Vector, b int) Vector {
 	if len(vs) == 0 {
 		panic("tensor: TrimmedMean of empty vector set")
@@ -150,20 +157,8 @@ func TrimmedMean(vs []Vector, b int) Vector {
 	if 2*b >= len(vs) {
 		panic("tensor: TrimmedMean requires 2b < n")
 	}
-	d := len(vs[0])
-	out := NewVector(d)
-	col := make([]float64, len(vs))
-	for j := 0; j < d; j++ {
-		for i, v := range vs {
-			col[i] = v[j]
-		}
-		sort.Float64s(col)
-		var s float64
-		kept := col[b : len(col)-b]
-		for _, x := range kept {
-			s += x
-		}
-		out[j] = s / float64(len(kept))
-	}
+	out := NewVector(len(vs[0]))
+	var e ColumnEngine
+	e.Run(out, vs, b, TrimmedMeanKernel, true)
 	return out
 }

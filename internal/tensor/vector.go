@@ -189,11 +189,21 @@ func Mean(vs []Vector) Vector {
 		panic("tensor: Mean of empty vector set")
 	}
 	out := NewVector(len(vs[0]))
+	MeanInto(out, vs)
+	return out
+}
+
+// MeanInto computes the coordinate-wise mean of vs into out, allocation
+// free. It panics if vs is empty or dimensions mismatch.
+func MeanInto(out Vector, vs []Vector) {
+	if len(vs) == 0 {
+		panic("tensor: MeanInto of empty vector set")
+	}
+	out.Zero()
 	for _, v := range vs {
 		out.Add(v)
 	}
 	out.Scale(1 / float64(len(vs)))
-	return out
 }
 
 // WeightedMean returns sum_i w_i*v_i / sum_i w_i. It panics if the weight and
@@ -221,29 +231,21 @@ func WeightedMean(vs []Vector, ws []float64) Vector {
 // NaNMean returns the coordinate-wise mean of vs ignoring NaN entries, the
 // "selective averaging" kernel from §3.3 of the paper. A coordinate that is
 // NaN in every vector yields 0 (no information received — treat as a null
-// update for that coordinate).
+// update for that coordinate). The pass is tiled and parallelised by the
+// column engine.
 func NaNMean(vs []Vector) Vector {
 	if len(vs) == 0 {
 		panic("tensor: NaNMean of empty vector set")
 	}
 	d := len(vs[0])
-	out := NewVector(d)
-	for j := 0; j < d; j++ {
-		var s float64
-		var n int
-		for _, v := range vs {
-			if len(v) != d {
-				panic("tensor: NaNMean dimension mismatch")
-			}
-			if !math.IsNaN(v[j]) {
-				s += v[j]
-				n++
-			}
-		}
-		if n > 0 {
-			out[j] = s / float64(n)
+	for _, v := range vs {
+		if len(v) != d {
+			panic("tensor: NaNMean dimension mismatch")
 		}
 	}
+	out := NewVector(d)
+	var e ColumnEngine
+	e.Run(out, vs, 0, NaNMeanKernel, true)
 	return out
 }
 
