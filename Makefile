@@ -2,10 +2,11 @@ GO ?= go
 SMOKE_OUT ?= /tmp/aggregathor-scenario-smoke.json
 TCP_SMOKE_OUT ?= /tmp/aggregathor-scenario-tcp-smoke.json
 UDP_SMOKE_OUT ?= /tmp/aggregathor-scenario-udp-smoke.json
+MODEL_LOSS_SMOKE_OUT ?= /tmp/aggregathor-scenario-model-loss-smoke.json
 
 BENCH_JSON_DIR ?= .
 
-.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp bench-json ci clean
+.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss bench-json ci clean
 
 all: ci
 
@@ -44,14 +45,20 @@ smoke-tcp:
 smoke-udp:
 	$(GO) run ./cmd/scenario -builtin udp-smoke -out $(UDP_SMOKE_OUT)
 
+# Run the built-in lossy-model-broadcast campaign (footnote 12): the same
+# cells with a perfect model channel and with 10% scheduled downlink loss
+# under the skip and stale recoup policies — all byte-reproducible.
+smoke-model-loss:
+	$(GO) run ./cmd/scenario -builtin model-loss-smoke -out $(MODEL_LOSS_SMOKE_OUT)
+
 # Time the GAR kernel engine (fresh + workspace aggregation, distance
 # schedules) and write BENCH_aggregation.json — the perf trajectory to diff
 # across commits on the same machine.
 bench-json:
 	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
-ci: vet build race smoke smoke-tcp smoke-udp
+ci: vet build race smoke smoke-tcp smoke-udp smoke-model-loss
 
 clean:
 	$(GO) clean ./...
-	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT)
+	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT) $(MODEL_LOSS_SMOKE_OUT)

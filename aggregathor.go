@@ -24,8 +24,9 @@
 //     and campaign network cells select them with Backend/backend "tcp" or
 //     "udp"; socket rounds reproduce the in-process trajectories
 //     bit-for-bit under identical seeds (at drop rate 0 for udp), and lossy
-//     udp rounds stay byte-reproducible because the drop schedule and
-//     recoup values are pure functions of (seed, step, worker).
+//     udp rounds stay byte-reproducible because the drop schedules (uplink
+//     gradients and, per footnote 12, downlink model broadcasts) and recoup
+//     values are pure functions of (seed, step, worker).
 //
 // See README.md for a tour and EXPERIMENTS.md for the paper-figure
 // reproduction index.
@@ -68,6 +69,17 @@ type TCPCluster = cluster.TCPCluster
 // UDPClusterConfig describes a round-driveable lossy-datagram deployment
 // (the paper's lossyMPI channel over real UDP sockets).
 type UDPClusterConfig = cluster.UDPClusterConfig
+
+// ModelRecoupPolicy selects the worker policy for a torn model broadcast on
+// the lossy udp backend (footnote 12): skip the round, or train on the last
+// complete model and submit a stale-tagged gradient.
+type ModelRecoupPolicy = cluster.ModelRecoupPolicy
+
+// The torn-model-broadcast policies.
+const (
+	ModelRecoupSkip  = cluster.ModelRecoupSkip
+	ModelRecoupStale = cluster.ModelRecoupStale
+)
 
 // UDPCluster is a running lossy-datagram deployment driven round-by-round
 // (Start/Step/Model/Close).

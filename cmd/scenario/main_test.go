@@ -56,6 +56,25 @@ func TestResolveSpecBuiltins(t *testing.T) {
 	if udp == 0 || lossy == 0 {
 		t.Fatalf("udp-smoke has %d udp cells (%d lossy), want both > 0", udp, lossy)
 	}
+	s, err = resolveSpec("", "model-loss-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "model-loss-smoke" {
+		t.Fatalf("builtin model-loss-smoke resolved to %q", s.Name)
+	}
+	modelLossy, stale := 0, 0
+	for _, n := range s.Networks {
+		if n.ModelDropRate > 0 {
+			modelLossy++
+			if n.ModelRecoup == "stale" {
+				stale++
+			}
+		}
+	}
+	if modelLossy == 0 || stale == 0 {
+		t.Fatalf("model-loss-smoke has %d lossy-model cells (%d stale), want both > 0", modelLossy, stale)
+	}
 	if _, err := resolveSpec("", "no-such-campaign"); err == nil {
 		t.Fatal("unknown builtin accepted")
 	}

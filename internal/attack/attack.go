@@ -49,6 +49,20 @@ type Attack interface {
 	Forge(ctx *Context) tensor.Vector
 }
 
+// Informed marks attacks whose Forge requires Context.Honest to be exactly
+// the set of gradients the honest workers submit this round — the paper's
+// omniscient-family adversaries. Deployments that cannot provide that
+// guarantee (e.g. the udp backend with lossy model broadcasts, where each
+// honest worker follows its own downlink schedule and may skip a round or
+// train on a stale model) must reject these attacks rather than silently
+// forging from wrong oracles. Attacks that merely use Honest as a fallback
+// when Own is absent (Reversed) are not Informed.
+type Informed interface {
+	Attack
+	// RequiresHonest reports that Forge depends on the honest gradients.
+	RequiresHonest() bool
+}
+
 // Random submits large Gaussian noise, the classic blind poisoning attack:
 // a single such worker is enough to derail plain averaging.
 type Random struct {
@@ -108,6 +122,10 @@ type NegativeSum struct{}
 
 // Name implements Attack.
 func (NegativeSum) Name() string { return "negative-sum" }
+
+// RequiresHonest implements Informed: the forged sum is built from the
+// honest gradients.
+func (NegativeSum) RequiresHonest() bool { return true }
 
 // Forge implements Attack.
 func (NegativeSum) Forge(ctx *Context) tensor.Vector {
@@ -169,6 +187,10 @@ type Mimic struct {
 // Name implements Attack.
 func (Mimic) Name() string { return "mimic" }
 
+// RequiresHonest implements Informed: the copied target is an honest
+// gradient.
+func (Mimic) RequiresHonest() bool { return true }
+
 // Forge implements Attack.
 func (a Mimic) Forge(ctx *Context) tensor.Vector {
 	if len(ctx.Honest) == 0 {
@@ -193,6 +215,10 @@ type LittleIsEnough struct {
 
 // Name implements Attack.
 func (LittleIsEnough) Name() string { return "little-is-enough" }
+
+// RequiresHonest implements Informed: the perturbation is scaled to the
+// honest gradients' coordinate spread.
+func (LittleIsEnough) RequiresHonest() bool { return true }
 
 // Forge implements Attack.
 func (a LittleIsEnough) Forge(ctx *Context) tensor.Vector {
@@ -228,6 +254,10 @@ type Omniscient struct {
 
 // Name implements Attack.
 func (Omniscient) Name() string { return "omniscient" }
+
+// RequiresHonest implements Informed: the dimensional leeway is computed
+// from the honest gradients.
+func (Omniscient) RequiresHonest() bool { return true }
 
 // Forge implements Attack.
 func (a Omniscient) Forge(ctx *Context) tensor.Vector {
@@ -292,6 +322,10 @@ type Stale struct {
 
 // Name implements Attack.
 func (*Stale) Name() string { return "stale" }
+
+// RequiresHonest implements Informed: the replayed gradients are captured
+// from the honest workers.
+func (*Stale) RequiresHonest() bool { return true }
 
 // Forge implements Attack.
 func (s *Stale) Forge(ctx *Context) tensor.Vector {

@@ -55,13 +55,29 @@ type UDPClusterConfig struct {
 	// unresponsive workers, as on the TCP backend.
 	RoundTimeout time.Duration
 	// DropRate is the per-packet artificial loss probability in [0, 1),
-	// applied to worker→server gradient datagrams. Model broadcasts travel
-	// loss-free (the paper treats an unreliable model channel as a separate
-	// extension, footnote 12). Which packets drop is decided by
-	// udpDropSchedule — keyed on (Seed, step, worker), never on a
-	// per-sender stream — so lossy rounds are deterministic by
+	// applied to worker→server gradient datagrams. Which packets drop is
+	// decided by udpDropSchedule — keyed on (Seed, step, worker), never on
+	// a per-sender stream — so lossy rounds are deterministic by
 	// construction.
 	DropRate float64
+	// ModelDropRate is the per-packet artificial loss probability in
+	// [0, 1) on server→worker model broadcasts — footnote 12's unreliable
+	// model channel. Which packets drop is decided by modelDropSchedule
+	// (keyed on ps.ModelDropSeed(Seed, step, worker)) evaluated at BOTH
+	// endpoints: the server drops before the write, and the worker knows
+	// exactly which model packets can never arrive, settling a torn
+	// broadcast the moment its survivors are in — no deadline. At 0 the
+	// model channel is loss-free and rounds are bit-identical to the
+	// pre-lossy-model behaviour.
+	ModelDropRate float64
+	// ModelRecoup selects the worker-side policy for a torn model
+	// broadcast: ModelRecoupSkip (default) consumes the survivors and
+	// submits nothing for the round (the server, evaluating the same
+	// schedule, recoups the slot without waiting); ModelRecoupStale trains
+	// on the worker's last complete model and submits a gradient tagged
+	// with that stale step, which the server accepts into the current
+	// round — the staleness regime a Byzantine-resilient GAR must absorb.
+	ModelRecoup ModelRecoupPolicy
 	// Recoup selects the policy for coordinates lost in flight and for
 	// slots that miss the round deadline: DropGradient (default) discards
 	// the gradient, FillNaN marks lost coordinates NaN (the GAR must
@@ -83,10 +99,48 @@ type UDPClusterConfig struct {
 	L1, L2 float64
 }
 
+// ModelRecoupPolicy selects what a worker does about a torn model broadcast
+// (some packets scheduled to drop on the downlink).
+type ModelRecoupPolicy int
+
+const (
+	// ModelRecoupSkip consumes the surviving packets and submits nothing
+	// for the round. The server, evaluating the same schedule, knows not
+	// to wait and recoups the slot per the gradient Recoup policy.
+	ModelRecoupSkip ModelRecoupPolicy = iota
+	// ModelRecoupStale trains on the last complete model the worker holds
+	// and submits a gradient tagged with that stale step; the server
+	// accepts it into the current round.
+	ModelRecoupStale
+)
+
+// String implements fmt.Stringer.
+func (p ModelRecoupPolicy) String() string {
+	switch p {
+	case ModelRecoupSkip:
+		return "skip"
+	case ModelRecoupStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("ModelRecoupPolicy(%d)", int(p))
+	}
+}
+
 // udpWorkerIdleTimeout bounds a worker's wait for the next model broadcast.
 // The normal exit path is the server closing the worker's model socket; the
 // timeout is a backstop against a server that vanished without Close.
 const udpWorkerIdleTimeout = time.Hour
+
+// udpPaceBurst/udpPaceDelay rate-limit every cluster sender: after each
+// 128 KB of datagram payload the sender sleeps 1 ms so the receiver drains
+// its kernel buffer. At the paper scale (d = 1.75M ≈ 14 MB of datagrams per
+// transfer) an unpaced burst overflows any realistic SO_RCVBUF and the
+// kernel silently discards the excess — the wedge the bounded broadcast
+// wait then has to clean up. Pacing changes timing only, never content.
+const (
+	udpPaceBurst = 128 << 10
+	udpPaceDelay = time.Millisecond
+)
 
 // UDPCluster is a running lossy-datagram deployment that implements
 // ps.Trainer: Start binds the sockets and launches the workers, then each
@@ -112,6 +166,18 @@ type UDPCluster struct {
 	// re-admits them).
 	suspected map[int]bool
 
+	// lastComplete tracks, per worker, the last step whose model broadcast
+	// was scheduled loss-free end to end (-1 before the first one). The
+	// worker tracks the same quantity from the same schedule, which is how
+	// the server knows the exact step a stale submission will be tagged
+	// with. The counters can transiently diverge outside the deterministic
+	// contract — a genuine kernel drop makes the worker record a scheduled-
+	// complete broadcast as lost — in which case the worker's submissions
+	// are filtered (wrong tag) and its slots recouped until the next fully
+	// delivered complete broadcast resynchronises both sides; sender pacing
+	// keeps that window rare.
+	lastComplete []int
+
 	started bool
 	closed  bool
 }
@@ -130,11 +196,20 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
 		return nil, fmt.Errorf("cluster: drop rate %v out of [0,1)", cfg.DropRate)
 	}
+	if cfg.ModelDropRate < 0 || cfg.ModelDropRate >= 1 {
+		return nil, fmt.Errorf("cluster: model drop rate %v out of [0,1)", cfg.ModelDropRate)
+	}
+	if cfg.ModelRecoup != ModelRecoupSkip && cfg.ModelRecoup != ModelRecoupStale {
+		return nil, fmt.Errorf("cluster: unknown model recoup policy %v", cfg.ModelRecoup)
+	}
 	if cfg.MTU == 0 {
 		cfg.MTU = transport.DefaultMTU
 	}
-	if cfg.MTU < 0 || cfg.MTU > 65507 {
-		return nil, fmt.Errorf("cluster: mtu %d outside (0, 65507]", cfg.MTU)
+	// Lower bound first: an MTU below header+one-coordinate would make
+	// CoordsPerPacket clamp to 1 and every datagram silently exceed the
+	// configured budget.
+	if cfg.MTU < cfg.Codec.MinMTU() || cfg.MTU > 65507 {
+		return nil, fmt.Errorf("cluster: mtu %d outside [%d, 65507]", cfg.MTU, cfg.Codec.MinMTU())
 	}
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 30 * time.Second
@@ -149,8 +224,18 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 		if id < 0 || id >= cfg.Workers {
 			return nil, fmt.Errorf("cluster: Byzantine worker id %d outside [0, %d)", id, cfg.Workers)
 		}
-		if _, err := attack.New(name); err != nil {
+		atk, err := attack.New(name)
+		if err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", id, err)
+		}
+		// The omniscient oracle recomputes honest gradients from the shared
+		// seed, which assumes every honest worker samples once per round on
+		// the broadcast model. Lossy model broadcasts break that: each
+		// honest worker follows its own downlink schedule and may skip a
+		// round or train on a stale model, so an informed attack would
+		// silently forge from wrong oracles. Reject the combination.
+		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() && cfg.ModelDropRate > 0 {
+			return nil, fmt.Errorf("cluster: informed attack %q requires exact honest-gradient oracles, which lossy model broadcasts (ModelDropRate %v) cannot provide", name, cfg.ModelDropRate)
 		}
 	}
 	for id := range cfg.Unresponsive {
@@ -159,11 +244,15 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 		}
 	}
 	c := &UDPCluster{
-		cfg:        cfg,
-		server:     cfg.ModelFactory(),
-		workerErrs: make(chan error, cfg.Workers),
-		suspected:  map[int]bool{},
-		ws:         gar.NewWorkspace(),
+		cfg:          cfg,
+		server:       cfg.ModelFactory(),
+		workerErrs:   make(chan error, cfg.Workers),
+		suspected:    map[int]bool{},
+		lastComplete: make([]int, cfg.Workers),
+		ws:           gar.NewWorkspace(),
+	}
+	for i := range c.lastComplete {
+		c.lastComplete[i] = -1
 	}
 	c.params = c.server.ParamsVector()
 	return c, nil
@@ -192,11 +281,29 @@ func (cfg *UDPClusterConfig) workerSpec() workerSpec {
 // deadline-free (a slot is recouped the moment its surviving packets are all
 // in, not when a timer fires).
 func udpDropSchedule(seed int64, step, worker, count int, rate float64) []bool {
+	return scheduleMask(ps.DropSeed(seed, step, worker), count, rate)
+}
+
+// modelDropSchedule is udpDropSchedule's downlink twin: the artificial-loss
+// mask for the count packets of the model broadcast to worker at step,
+// keyed on ps.ModelDropSeed so both endpoints can evaluate it — the server
+// to drop before the write, the worker to settle a torn broadcast the
+// moment its scheduled survivors are in (footnote 12's unreliable model
+// channel, made deterministic and deadline-free the same way the uplink
+// was).
+func modelDropSchedule(seed int64, step, worker, count int, rate float64) []bool {
+	return scheduleMask(ps.ModelDropSeed(seed, step, worker), count, rate)
+}
+
+// scheduleMask draws one deterministic drop mask from a derived seed — the
+// single implementation behind both drop schedules, so uplink and downlink
+// loss semantics can never drift apart.
+func scheduleMask(seed int64, count int, rate float64) []bool {
 	mask := make([]bool, count)
 	if rate <= 0 {
 		return mask
 	}
-	rng := rand.New(rand.NewSource(ps.DropSeed(seed, step, worker)))
+	rng := rand.New(rand.NewSource(seed))
 	for i := range mask {
 		mask[i] = rng.Float64() < rate
 	}
@@ -229,12 +336,14 @@ func (c *UDPCluster) Start() error {
 		}
 		mrecv.Reassembler().SetMaxDim(c.params.Dim())
 		c.modelRecvs = append(c.modelRecvs, mrecv)
-		// Model broadcasts travel loss-free: drop rate 0 on the sender.
+		// Model loss is injected by the shared modelDropSchedule, not the
+		// sender's own rng: drop rate 0 on the sender.
 		msend, err := transport.DialUDP(mrecv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
 		if err != nil {
 			c.abortStart()
 			return err
 		}
+		msend.SetPacing(udpPaceBurst, udpPaceDelay)
 		c.modelSenders = append(c.modelSenders, msend)
 		// Gradient loss is injected by the shared schedule, not the
 		// sender's own rng: drop rate 0 here too.
@@ -243,6 +352,7 @@ func (c *UDPCluster) Start() error {
 			c.abortStart()
 			return err
 		}
+		gsend.SetPacing(udpPaceBurst, udpPaceDelay)
 		c.gradSenders = append(c.gradSenders, gsend)
 	}
 	workers := make([]*clusterWorker, c.cfg.Workers)
@@ -254,11 +364,12 @@ func (c *UDPCluster) Start() error {
 		}
 		workers[id] = w
 	}
+	dim := c.params.Dim()
 	for id := 0; id < c.cfg.Workers; id++ {
 		c.workerWG.Add(1)
 		go func(id int) {
 			defer c.workerWG.Done()
-			if err := c.runWorker(workers[id], c.modelRecvs[id], c.gradSenders[id]); err != nil {
+			if err := c.runWorker(workers[id], c.modelRecvs[id], c.gradSenders[id], dim); err != nil {
 				c.workerErrs <- fmt.Errorf("worker %d: %w", id, err)
 			}
 		}(id)
@@ -283,20 +394,60 @@ func (c *UDPCluster) abortStart() {
 	c.recv.Close()
 }
 
-// runWorker is the worker main loop: model broadcast in, scheduled-loss
-// gradient datagrams out, until the server closes the model socket.
-func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, send *transport.UDPSender) error {
+// runWorker is the worker main loop: model broadcasts in (possibly torn by
+// the shared downlink schedule), scheduled-loss gradient datagrams out,
+// until the server closes the model socket. dim is the deployment's model
+// dimension, read once under Start so the goroutine never touches the
+// server's live parameter vector.
+func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, send *transport.UDPSender, dim int) error {
+	pktCount := c.cfg.Codec.PacketsPerTransfer(dim, c.cfg.MTU)
+	var schedule func(step int) []bool
+	if c.cfg.ModelDropRate > 0 {
+		schedule = func(step int) []bool {
+			return modelDropSchedule(c.cfg.Seed, step, w.id, pktCount, c.cfg.ModelDropRate)
+		}
+	}
+	col := transport.NewModelCollector(mrecv, transport.ModelCollectorConfig{
+		Dim:              dim,
+		MTU:              c.cfg.MTU,
+		Codec:            c.cfg.Codec,
+		Schedule:         schedule,
+		BroadcastTimeout: c.cfg.RoundTimeout,
+		IdleTimeout:      udpWorkerIdleTimeout,
+	})
+	lastStep := -1 // last complete model held (mirrors the server's lastComplete)
+	var lastParams tensor.Vector
 	for {
-		model, err := mrecv.RecvModel(udpWorkerIdleTimeout)
+		ev, err := col.Next()
 		if err != nil {
-			return nil // socket closed by the server: normal termination
+			return nil // socket closed by the server (or idle timeout): termination
+		}
+		var model *transport.ModelMsg
+		switch {
+		case ev.Complete:
+			lastStep, lastParams = ev.Step, ev.Params
+			model = &transport.ModelMsg{Step: ev.Step, Params: ev.Params}
+		case ev.Torn && c.cfg.ModelRecoup == ModelRecoupStale && lastStep >= 0:
+			// Stale recoup: train on the last complete model; the gradient
+			// is tagged with the stale step and the server — which knows
+			// the same schedule — accepts it into the current round.
+			model = &transport.ModelMsg{Step: lastStep, Params: lastParams}
+		default:
+			// Skip policy, a torn broadcast before any complete model, or
+			// a genuinely lost one: consume and submit nothing. The server
+			// recoups the slot (per schedule for the first two, per round
+			// deadline for the last).
+			continue
 		}
 		if c.cfg.Unresponsive[w.id] {
 			continue // consume the broadcast, never answer (crashed node)
 		}
 		msg := w.submission(model)
 		pkts := c.cfg.Codec.Split(msg, c.cfg.MTU)
-		drop := udpDropSchedule(c.cfg.Seed, model.Step, w.id, len(pkts), c.cfg.DropRate)
+		// The uplink schedule stays keyed on the round (ev.Step), not the
+		// stale tag, so two stale submissions off the same model never
+		// reuse a drop mask.
+		drop := udpDropSchedule(c.cfg.Seed, ev.Step, w.id, len(pkts), c.cfg.DropRate)
 		for i := range pkts {
 			if drop[i] {
 				continue // the tc stand-in: this datagram "was lost"
@@ -329,26 +480,67 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 	// grow server memory.
 	asm.DropStale(c.step)
 
-	// Broadcast phase. Suspected workers are included — a straggler that
-	// recovers can rejoin the round. UDP writes to a live socket never
-	// block, so sequential sends are fine.
-	for id, s := range c.modelSenders {
-		if err := s.SendModel(&transport.ModelMsg{Step: c.step, Params: c.params}); err != nil {
-			return nil, fmt.Errorf("cluster: model broadcast to worker %d at step %d: %w", id, c.step, err)
+	dim := c.params.Dim()
+	per := c.cfg.Codec.CoordsPerPacket(c.cfg.MTU)
+	pktCount := c.cfg.Codec.PacketsPerTransfer(dim, c.cfg.MTU)
+
+	// Downlink schedule: which model packets reach which worker, and —
+	// from the same pure function the workers evaluate — the step each
+	// worker's submission for this round will be tagged with: the current
+	// step after a complete broadcast, the worker's last complete step
+	// after a torn one under ModelRecoupStale, or none at all (-1) when
+	// the worker cannot submit (skip policy, no complete model yet, or a
+	// broadcast with no surviving packet, which the worker never even
+	// learns happened). Note stale tags repeat across consecutive torn
+	// rounds, so the reassembler key (worker, tag) is only unique per
+	// round on the scheduled path; a gradient packet delayed across a
+	// round deadline (already the non-deterministic contingency) can seed
+	// the next same-tagged partial with stale metadata, in which case that
+	// slot settles through the recoup fill and the GAR absorbs it like any
+	// other corrupted gradient.
+	modelDrop := make([][]bool, n)
+	expectTag := make([]int, n)
+	for id := 0; id < n; id++ {
+		modelDrop[id] = modelDropSchedule(c.cfg.Seed, c.step, id, pktCount, c.cfg.ModelDropRate)
+		surv := transport.CountSurvivors(modelDrop[id], pktCount)
+		switch {
+		case surv == pktCount:
+			expectTag[id] = c.step
+			c.lastComplete[id] = c.step
+		case surv > 0 && c.cfg.ModelRecoup == ModelRecoupStale && c.lastComplete[id] >= 0:
+			expectTag[id] = c.lastComplete[id]
+		default:
+			expectTag[id] = -1
 		}
 	}
 
-	// The server evaluates every worker's drop schedule itself: expected
-	// packet arrivals and known-lost coordinate counts per slot.
-	dim := c.params.Dim()
-	per := c.cfg.Codec.CoordsPerPacket(c.cfg.MTU)
-	pktCount := (dim + per - 1) / per
-	if pktCount == 0 {
-		pktCount = 1
+	// Broadcast phase. Suspected workers are included — a straggler that
+	// recovers can rejoin the round. Scheduled downlink drops are applied
+	// before the write, mirroring the uplink design. Paced writes to a
+	// live socket never block for long, so sequential sends are fine.
+	modelPkts := c.cfg.Codec.Split(&transport.GradientMsg{
+		Worker: transport.ModelWorkerID, Step: c.step, Grad: c.params,
+	}, c.cfg.MTU)
+	for id, s := range c.modelSenders {
+		for i := range modelPkts {
+			if i < len(modelDrop[id]) && modelDrop[id][i] {
+				continue // scheduled downlink loss: this datagram "was lost"
+			}
+			if err := s.SendPacket(&modelPkts[i]); err != nil {
+				return nil, fmt.Errorf("cluster: model broadcast to worker %d at step %d: %w", id, c.step, err)
+			}
+		}
 	}
+
+	// The server evaluates every worker's uplink drop schedule itself:
+	// expected packet arrivals and known-lost coordinate counts per slot.
+	// Workers that cannot submit this round expect zero packets.
 	expectPkts := make([]int, n)
 	lostCoords := make([]int, n)
 	for id := 0; id < n; id++ {
+		if expectTag[id] < 0 {
+			continue
+		}
 		drop := udpDropSchedule(c.cfg.Seed, c.step, id, pktCount, c.cfg.DropRate)
 		expectPkts[id] = pktCount
 		for p, d := range drop {
@@ -414,7 +606,7 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 			return nil, fmt.Errorf("cluster: gradient receive at step %d: %w", c.step, err)
 		}
 		id := pkt.Worker
-		if id < 0 || id >= n || pkt.Step != c.step || pkt.Dim != dim {
+		if id < 0 || id >= n || expectTag[id] < 0 || pkt.Step != expectTag[id] || pkt.Dim != dim {
 			continue
 		}
 		if got[id] || dropped[id] {
@@ -425,8 +617,8 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 			losses[id] = msg.Loss
 			got[id], hasLoss[id] = true, true
 			delete(c.suspected, id) // recovered straggler rejoins the quorum
-		} else if missing, ok := asm.Missing(id, c.step); ok && missing == lostCoords[id] {
-			c.settleLost(asm, id, grads, losses, got, hasLoss, dropped)
+		} else if missing, ok := asm.Missing(id, expectTag[id]); ok && missing == lostCoords[id] {
+			c.settleLost(asm, id, expectTag[id], grads, losses, got, hasLoss, dropped)
 			if got[id] {
 				delete(c.suspected, id)
 			}
@@ -442,8 +634,8 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 			continue
 		}
 		c.suspected[id] = true
-		if _, pending := asm.Missing(id, c.step); pending {
-			c.settleLost(asm, id, grads, losses, got, hasLoss, dropped)
+		if _, pending := asm.Missing(id, expectTag[id]); pending {
+			c.settleLost(asm, id, expectTag[id], grads, losses, got, hasLoss, dropped)
 			continue
 		}
 		if v := c.recoupSlot(id); v != nil {
@@ -458,6 +650,13 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 	for id := 0; id < n; id++ {
 		if got[id] {
 			received = append(received, grads[id])
+			// Stale counts only slots carrying an actual stale-tagged
+			// submission (arrived or fill-completed from its partial) —
+			// hasLoss distinguishes those from wholly recouped slots,
+			// which contain no worker gradient at all.
+			if hasLoss[id] && expectTag[id] >= 0 && expectTag[id] != c.step {
+				res.Stale++
+			}
 		}
 	}
 	res.Received = len(received)
@@ -501,13 +700,15 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 // settleLost resolves worker id's partial gradient whose remaining
 // coordinates are presumed lost, per the recoup policy: DropGradient
 // discards it, FillNaN and FillRandom force-complete it — the fill keyed on
-// (seed, step, id) and applied in ascending coordinate order, so the values
-// are a pure function of the configuration and the set of missing
-// coordinates.
-func (c *UDPCluster) settleLost(asm *transport.Reassembler, id int, grads []tensor.Vector, losses []float64, got, hasLoss, dropped []bool) {
+// (seed, round, id) and applied in ascending coordinate order, so the
+// values are a pure function of the configuration and the set of missing
+// coordinates. tag is the step the submission is tagged with (the round
+// itself, or the worker's stale model step under lossy model broadcasts) —
+// the reassembler key; the recoup seed always keys on the round.
+func (c *UDPCluster) settleLost(asm *transport.Reassembler, id, tag int, grads []tensor.Vector, losses []float64, got, hasLoss, dropped []bool) {
 	switch c.cfg.Recoup {
 	case transport.FillNaN:
-		msg, ok := asm.FlushFill(id, c.step, func(int) float64 { return math.NaN() })
+		msg, ok := asm.FlushFill(id, tag, func(int) float64 { return math.NaN() })
 		if !ok {
 			return
 		}
@@ -515,14 +716,14 @@ func (c *UDPCluster) settleLost(asm *transport.Reassembler, id int, grads []tens
 		got[id], hasLoss[id] = true, true
 	case transport.FillRandom:
 		rng := rand.New(rand.NewSource(ps.RecoupSeed(c.cfg.Seed, c.step, id)))
-		msg, ok := asm.FlushFill(id, c.step, func(int) float64 { return rng.NormFloat64() })
+		msg, ok := asm.FlushFill(id, tag, func(int) float64 { return rng.NormFloat64() })
 		if !ok {
 			return
 		}
 		grads[id], losses[id] = msg.Grad, msg.Loss
 		got[id], hasLoss[id] = true, true
 	default: // DropGradient
-		asm.Discard(id, c.step)
+		asm.Discard(id, tag)
 		dropped[id] = true
 	}
 }

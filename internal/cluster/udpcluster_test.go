@@ -355,7 +355,14 @@ func TestUDPClusterConfigValidation(t *testing.T) {
 	mutate := []func(*UDPClusterConfig){
 		func(c *UDPClusterConfig) { c.DropRate = 1.0 },
 		func(c *UDPClusterConfig) { c.DropRate = -0.1 },
+		func(c *UDPClusterConfig) { c.ModelDropRate = 1.0 },
+		func(c *UDPClusterConfig) { c.ModelDropRate = -0.1 },
+		func(c *UDPClusterConfig) { c.ModelRecoup = ModelRecoupPolicy(9) },
 		func(c *UDPClusterConfig) { c.MTU = 100000 },
+		// Below the packet header + one coordinate: CoordsPerPacket would
+		// clamp to 1 and every datagram would silently exceed the budget.
+		func(c *UDPClusterConfig) { c.MTU = 16 },
+		func(c *UDPClusterConfig) { c.MTU = c.Codec.MinMTU() - 1 },
 		func(c *UDPClusterConfig) { c.Workers = 0 },
 		func(c *UDPClusterConfig) { c.Byzantine = map[int]string{5: "reversed"} },
 		func(c *UDPClusterConfig) { c.Byzantine = map[int]string{0: "no-such-attack"} },

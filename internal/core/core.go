@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"aggregathor/internal/attack"
+	"aggregathor/internal/cluster"
 	"aggregathor/internal/data"
 	"aggregathor/internal/draco"
 	"aggregathor/internal/gar"
@@ -185,6 +186,15 @@ type Config struct {
 	DropRate float64
 	// Recoup selects the lost-coordinate policy on UDP links.
 	Recoup transport.RecoupPolicy
+	// ModelDropRate is the artificial per-packet drop probability on
+	// server→worker model broadcasts (footnote 12's unreliable model
+	// channel). Only the udp backend implements a lossy model channel;
+	// every other deployment rejects a non-zero value.
+	ModelDropRate float64
+	// ModelRecoup selects the worker-side policy for torn model
+	// broadcasts on the udp backend: skip the round, or train on the last
+	// complete model and submit a stale-tagged gradient.
+	ModelRecoup cluster.ModelRecoupPolicy
 	// Protocol switches the time model between TCP and UDP costing.
 	Protocol simnet.Protocol
 	// RTT overrides the simulated link round-trip time when positive
@@ -235,6 +245,10 @@ type Result struct {
 	Hijacked bool
 	// SkippedRounds counts rounds lost to the GAR quorum check.
 	SkippedRounds int
+	// StaleGradients counts gradients accepted from stale-model
+	// submissions across the run (udp backend with lossy model broadcasts
+	// under the stale recoup policy).
+	StaleGradients int
 	// ResumedFromStep is the checkpointed step index the run warm-started
 	// from (0 for a fresh run).
 	ResumedFromStep int
@@ -319,6 +333,14 @@ func buildWorkers(cfg Config, train *data.Dataset) ([]ps.WorkerConfig, error) {
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg.applyDefaults()
+	// Lossy model broadcasts exist only on the udp backend: the in-process
+	// simulator and the tcp backend deliver models reliably, and silently
+	// running the config loss-free would masquerade as the lossy-model
+	// sweep the caller asked for.
+	if cfg.Backend != BackendUDP && (cfg.ModelDropRate != 0 || cfg.ModelRecoup != cluster.ModelRecoupSkip) {
+		return nil, fmt.Errorf("core: lossy model broadcasts (ModelDropRate/ModelRecoup) need backend %q, got %q",
+			BackendUDP, cfg.Backend)
+	}
 	switch cfg.Backend {
 	case "", BackendInProcess:
 	case BackendTCP:

@@ -46,6 +46,7 @@ func runTraining(cfg Config, t ps.Trainer, test *data.Dataset, round simnet.Roun
 		if sr.Skipped {
 			res.SkippedRounds++
 		}
+		res.StaleGradients += sr.Stale
 		if sr.Hijacked {
 			res.Hijacked = true
 		}

@@ -26,20 +26,22 @@ func runUDP(cfg Config) (*Result, error) {
 	return runSocketBackend(cfg, ErrUDPUnsupported,
 		func(factory func() *nn.Network, train *data.Dataset, rule gar.GAR, optimizer opt.Optimizer) (socketCluster, error) {
 			return cluster.NewUDPCluster(cluster.UDPClusterConfig{
-				Addr:         "127.0.0.1:0",
-				ModelFactory: factory,
-				Workers:      cfg.Workers,
-				GAR:          rule,
-				Optimizer:    optimizer,
-				Batch:        cfg.Batch,
-				Train:        train,
-				RoundTimeout: cfg.RoundTimeout,
-				DropRate:     cfg.DropRate,
-				Recoup:       cfg.Recoup,
-				Byzantine:    cfg.Attacks,
-				Seed:         cfg.Seed,
-				L1:           cfg.L1,
-				L2:           cfg.L2,
+				Addr:          "127.0.0.1:0",
+				ModelFactory:  factory,
+				Workers:       cfg.Workers,
+				GAR:           rule,
+				Optimizer:     optimizer,
+				Batch:         cfg.Batch,
+				Train:         train,
+				RoundTimeout:  cfg.RoundTimeout,
+				DropRate:      cfg.DropRate,
+				Recoup:        cfg.Recoup,
+				ModelDropRate: cfg.ModelDropRate,
+				ModelRecoup:   cfg.ModelRecoup,
+				Byzantine:     cfg.Attacks,
+				Seed:          cfg.Seed,
+				L1:            cfg.L1,
+				L2:            cfg.L2,
 			})
 		})
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"aggregathor/internal/cluster"
 	"aggregathor/internal/transport"
 )
 
@@ -121,5 +122,66 @@ func TestUDPBackendRejectsSimulatorOnlyOptions(t *testing.T) {
 		if _, err := Run(cfg); !errors.Is(err, ErrUDPUnsupported) {
 			t.Fatalf("case %d: want ErrUDPUnsupported, got %v", i, err)
 		}
+	}
+}
+
+// TestModelLossRejectedOffUDPBackend pins the config-plumbing validation:
+// lossy model broadcasts are a udp-backend feature, and every other
+// deployment must fail loudly instead of silently running the model
+// channel loss-free.
+func TestModelLossRejectedOffUDPBackend(t *testing.T) {
+	for i, backend := range []string{"", BackendInProcess, BackendTCP} {
+		cfg := Config{Backend: backend, Workers: 3, Steps: 2, Batch: 4,
+			Aggregator: "average", ModelDropRate: 0.1}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: backend %q accepted ModelDropRate", i, backend)
+		}
+		cfg = Config{Backend: backend, Workers: 3, Steps: 2, Batch: 4,
+			Aggregator: "average", ModelRecoup: cluster.ModelRecoupStale}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: backend %q accepted ModelRecoup", i, backend)
+		}
+	}
+}
+
+// TestUDPBackendModelLossDeterministic pins run-level reproducibility of
+// the footnote-12 channel at the core layer: two runs with 10% loss on
+// both the model downlink and the gradient uplink under the stale policy
+// produce identical series, and stale gradients are actually reported.
+func TestUDPBackendModelLossDeterministic(t *testing.T) {
+	cfg := Config{
+		Experiment:    "features-mlp",
+		Backend:       BackendUDP,
+		Aggregator:    "multi-krum",
+		F:             1,
+		Workers:       7,
+		Batch:         16,
+		Steps:         10,
+		EvalEvery:     5,
+		LR:            5e-3,
+		Seed:          11,
+		DropRate:      0.10,
+		Recoup:        transport.FillRandom,
+		ModelDropRate: 0.10,
+		ModelRecoup:   cluster.ModelRecoupStale,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, "accuracy-vs-step", a.AccuracyVsStep, b.AccuracyVsStep)
+	assertSeriesEqual(t, "loss-vs-step", a.LossVsStep, b.LossVsStep)
+	if a.FinalAccuracy != b.FinalAccuracy {
+		t.Fatalf("final accuracy %v vs %v across identical lossy-model runs", a.FinalAccuracy, b.FinalAccuracy)
+	}
+	if a.StaleGradients == 0 {
+		t.Fatal("10% model loss under the stale policy reported no stale gradients")
+	}
+	if a.StaleGradients != b.StaleGradients {
+		t.Fatalf("stale gradient counts %d vs %d across identical runs", a.StaleGradients, b.StaleGradients)
 	}
 }

@@ -116,6 +116,11 @@ type StepResult struct {
 	// Hijacked is true when a Byzantine worker overwrote the parameters
 	// this round (Vanilla mode only).
 	Hijacked bool
+	// Stale counts slots settled this round from a stale-model submission:
+	// on the lossy-model UDP backend, a worker whose broadcast was torn
+	// trained on its last complete model and the server accepted the
+	// resulting gradient into the current round (ModelRecoupStale).
+	Stale int
 }
 
 // New validates the configuration and builds the cluster.

@@ -40,3 +40,18 @@ func RecoupSeed(runSeed int64, step, worker int) int64 {
 func DropSeed(runSeed int64, step, worker int) int64 {
 	return runSeed ^ (int64(step)*999983 + int64(worker)*6007 + 11)
 }
+
+// ModelDropSeed derives the RNG seed for the artificial packet-loss schedule
+// of the server→worker model broadcast at one step on the lossy UDP backend
+// (footnote 12's unreliable model channel). Like DropSeed it is keyed per
+// (step, worker) and evaluated at BOTH endpoints: the server drops the
+// scheduled packets before the socket write, and the worker therefore knows
+// exactly which model packets can never arrive — it settles a torn broadcast
+// the moment its surviving packets are in, with no deadline. The 1<<62
+// offset keeps the downlink seed disjoint from DropSeed's for every
+// reachable (step, worker): two linear forms alone collide on a lattice
+// (e.g. step 60 / worker 3 under the un-offset constants), which would
+// make a round's model drop mask bit-identical to its gradient drop mask.
+func ModelDropSeed(runSeed int64, step, worker int) int64 {
+	return runSeed ^ (int64(step)*1000033 + int64(worker)*5003 + 23 + 1<<62)
+}

@@ -34,6 +34,10 @@ type Result struct {
 	RoundTimeNS int64 `json:"roundTimeNs"`
 	// SkippedRounds counts rounds lost to the GAR quorum check.
 	SkippedRounds int `json:"skippedRounds"`
+	// StaleGradients counts gradients the server accepted from stale-model
+	// submissions across the run (udp backend, lossy model broadcasts with
+	// modelRecoup "stale") — the staleness readout of the model-loss axis.
+	StaleGradients int `json:"staleGradients"`
 	// MeasuredAggWallNS is the real measured wall time of one aggregation
 	// at the run's model dimension, in nanoseconds. Only present when the
 	// spec sets includeWallTime; it is host wall clock and therefore the
@@ -129,6 +133,11 @@ func executeRun(s *Spec, r Run) Result {
 		out.Error = err.Error()
 		return out
 	}
+	modelPolicy, err := r.Network.modelRecoupPolicy()
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
 	proto, err := r.Network.protocol()
 	if err != nil {
 		out.Error = err.Error()
@@ -140,23 +149,25 @@ func executeRun(s *Spec, r Run) Result {
 		return out
 	}
 	cfg := core.Config{
-		Experiment: s.Experiment,
-		Backend:    backend,
-		Aggregator: r.GAR,
-		F:          r.Cluster.F,
-		Workers:    r.Cluster.Workers,
-		Batch:      s.Batch,
-		Optimizer:  s.Optimizer,
-		LR:         s.LR,
-		Steps:      s.Steps,
-		EvalEvery:  s.EvalEvery,
-		Attacks:    attacks,
-		UDPLinks:   r.Network.udpLinks(r.Cluster.Workers),
-		DropRate:   r.Network.DropRate,
-		Recoup:     policy,
-		Protocol:   proto,
-		RTT:        r.Network.rtt(),
-		Seed:       r.Seed,
+		Experiment:    s.Experiment,
+		Backend:       backend,
+		Aggregator:    r.GAR,
+		F:             r.Cluster.F,
+		Workers:       r.Cluster.Workers,
+		Batch:         s.Batch,
+		Optimizer:     s.Optimizer,
+		LR:            s.LR,
+		Steps:         s.Steps,
+		EvalEvery:     s.EvalEvery,
+		Attacks:       attacks,
+		UDPLinks:      r.Network.udpLinks(r.Cluster.Workers),
+		DropRate:      r.Network.DropRate,
+		Recoup:        policy,
+		ModelDropRate: r.Network.ModelDropRate,
+		ModelRecoup:   modelPolicy,
+		Protocol:      proto,
+		RTT:           r.Network.rtt(),
+		Seed:          r.Seed,
 	}
 	res, err := core.Run(cfg)
 	if err != nil {
@@ -176,6 +187,7 @@ func executeRun(s *Spec, r Run) Result {
 	out.AggTimePerRoundNS = res.Breakdown.Aggregation.Nanoseconds()
 	out.RoundTimeNS = res.Breakdown.Total().Nanoseconds()
 	out.SkippedRounds = res.SkippedRounds
+	out.StaleGradients = res.StaleGradients
 	out.Diverged = res.Diverged
 	out.Hijacked = res.Hijacked
 	out.modelDim = res.ModelDim

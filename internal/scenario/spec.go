@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"aggregathor/internal/attack"
+	"aggregathor/internal/cluster"
 	"aggregathor/internal/core"
 	"aggregathor/internal/gar"
 	"aggregathor/internal/opt"
@@ -62,6 +63,17 @@ type Network struct {
 	// Recoup selects the lost-coordinate policy on lossy links:
 	// drop-gradient | fill-nan | fill-random (default).
 	Recoup string `json:"recoup,omitempty"`
+	// ModelDropRate is the per-packet loss probability in [0, 1) on
+	// server→worker model broadcasts (footnote 12's unreliable model
+	// channel). Requires backend "udp"; which packets drop is a pure
+	// function of (seed, step, worker) via ps.ModelDropSeed, so
+	// lossy-model campaigns stay byte-reproducible.
+	ModelDropRate float64 `json:"modelDropRate,omitempty"`
+	// ModelRecoup selects the worker policy for torn model broadcasts:
+	// "skip" (default — consume and sit the round out) or "stale" (train
+	// on the last complete model and submit a stale-tagged gradient,
+	// opening the staleness axis). Requires backend "udp".
+	ModelRecoup string `json:"modelRecoup,omitempty"`
 	// Protocol costs the simulated clock as "tcp" (default) or "udp".
 	Protocol string `json:"protocol,omitempty"`
 	// RTTMicros overrides the simulated link round-trip time in
@@ -223,6 +235,15 @@ func (s *Spec) Validate() error {
 		if n.DropRate < 0 || n.DropRate >= 1 {
 			return fmt.Errorf("scenario: network %q drop rate %v outside [0, 1)", n.Name, n.DropRate)
 		}
+		if n.ModelDropRate < 0 || n.ModelDropRate >= 1 {
+			return fmt.Errorf("scenario: network %q model drop rate %v outside [0, 1)", n.Name, n.ModelDropRate)
+		}
+		if (n.ModelDropRate != 0 || n.ModelRecoup != "") && n.Backend != core.BackendUDP {
+			return fmt.Errorf("scenario: network %q sets modelDropRate/modelRecoup without backend \"udp\" (lossy model broadcasts are a udp-backend feature)", n.Name)
+		}
+		if _, err := n.modelRecoupPolicy(); err != nil {
+			return err
+		}
 		if n.UDPLinks < -1 {
 			return fmt.Errorf("scenario: network %q udpLinks %d", n.Name, n.UDPLinks)
 		}
@@ -302,6 +323,19 @@ func (n Network) recoupPolicy() (transport.RecoupPolicy, error) {
 		return transport.DropGradient, nil
 	default:
 		return 0, fmt.Errorf("scenario: network %q unknown recoup policy %q (want drop-gradient|fill-nan|fill-random)", n.Name, n.Recoup)
+	}
+}
+
+// modelRecoupPolicy parses the network's torn-model-broadcast policy name
+// (default skip).
+func (n Network) modelRecoupPolicy() (cluster.ModelRecoupPolicy, error) {
+	switch n.ModelRecoup {
+	case "", "skip":
+		return cluster.ModelRecoupSkip, nil
+	case "stale":
+		return cluster.ModelRecoupStale, nil
+	default:
+		return 0, fmt.Errorf("scenario: network %q unknown model recoup policy %q (want skip|stale)", n.Name, n.ModelRecoup)
 	}
 }
 
@@ -400,6 +434,43 @@ func UDPSmokeSpec() Spec {
 			{Name: "in-process"},
 			{Name: "udp-distributed", Backend: "udp"},
 			{Name: "udp-lossy", Backend: "udp", DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     30,
+		Batch:     16,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// ModelLossSmokeSpec returns the built-in lossy-model-broadcast
+// demonstration campaign (cmd/scenario -builtin model-loss-smoke): the
+// udp-smoke cells swept in-process, over real UDP sockets with a perfect
+// model channel (must reproduce the in-process trajectories bit-for-bit),
+// and with 10% seeded downlink loss on the model broadcasts under both
+// torn-broadcast policies — skip (torn workers sit the round out and their
+// slots are recouped) and stale (torn workers train on their last complete
+// model and the server accepts the stale-tagged gradients), plus a cell
+// combining model loss with 10% gradient loss. All cells stay
+// byte-reproducible because the downlink schedule (ps.ModelDropSeed) is a
+// pure function of (seed, step, worker) evaluated at both endpoints.
+func ModelLossSmokeSpec() Spec {
+	s := Spec{
+		Name:       "model-loss-smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"median", "multi-krum"},
+		Attacks:    []string{AttackNone, "reversed", "non-finite"},
+		Clusters:   []Cluster{{Workers: 7, F: 1}},
+		Networks: []Network{
+			{Name: "in-process"},
+			{Name: "udp-model-perfect", Backend: "udp", ModelRecoup: "stale"},
+			{Name: "udp-model-lossy-skip", Backend: "udp", ModelDropRate: 0.1, Protocol: "udp"},
+			{Name: "udp-model-lossy-stale", Backend: "udp", ModelDropRate: 0.1, ModelRecoup: "stale", Protocol: "udp"},
+			{Name: "udp-both-lossy-stale", Backend: "udp", DropRate: 0.1, Recoup: "fill-random",
+				ModelDropRate: 0.1, ModelRecoup: "stale", Protocol: "udp"},
 		},
 		Seeds:     []int64{1},
 		Steps:     30,

@@ -84,6 +84,27 @@ func FuzzReassembler(f *testing.F) {
 		}
 	}
 	f.Add(legit)
+	// Seed: model-tagged (ModelWorkerID) sequences — the worker-side model
+	// endpoint path: one complete broadcast, one torn broadcast, and
+	// spoofed packets claiming distinct future steps (each used to pin a
+	// model-sized partial on the worker with nothing ever evicting it).
+	var models []byte
+	model := &GradientMsg{Worker: ModelWorkerID, Step: 7, Loss: 0, Grad: tensor.Vector{1, 2, 3, 4, 5, 6, 7, 8}}
+	for _, p := range c.Split(model, 64) {
+		models = appendChunk(models, c.EncodePacket(&p))
+	}
+	torn := &GradientMsg{Worker: ModelWorkerID, Step: 8, Grad: tensor.Vector{9, 8, 7, 6, 5, 4, 3, 2}}
+	for i, p := range c.Split(torn, 64) {
+		if i == 0 {
+			continue // the "scheduled drop": first packet never sent
+		}
+		models = appendChunk(models, c.EncodePacket(&p))
+	}
+	for step := 100; step < 104; step++ {
+		spoof := &Packet{Worker: ModelWorkerID, Step: step, Dim: 4096, Offset: 0, Coords: tensor.Vector{1}}
+		models = appendChunk(models, c.EncodePacket(spoof))
+	}
+	f.Add(models)
 	// Seed: the conflicting-Dim crasher — two self-consistent packets, same
 	// key, different dims (the second used to index out of range).
 	small := &Packet{Worker: 1, Step: 1, Dim: 4, Offset: 0, Coords: tensor.Vector{1, 2}}

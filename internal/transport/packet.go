@@ -34,6 +34,15 @@ const packetHeaderLen = 4 + 1 + 4 + 8 + 8 + 4 + 4 + 4
 // DefaultMTU is the conventional Ethernet payload budget for one datagram.
 const DefaultMTU = 1400
 
+// MinMTU returns the smallest datagram payload budget that still carries
+// the packet header plus one coordinate under codec c. Endpoints must
+// reject anything smaller: CoordsPerPacket clamps to one coordinate per
+// packet, so a sub-minimum MTU would make every datagram silently exceed
+// the configured budget instead of honouring it.
+func (c Codec) MinMTU() int {
+	return packetHeaderLen + c.BytesPerCoord()
+}
+
 // CoordsPerPacket returns how many coordinates fit a datagram of the given
 // MTU under codec c.
 func (c Codec) CoordsPerPacket(mtu int) int {
@@ -44,15 +53,37 @@ func (c Codec) CoordsPerPacket(mtu int) int {
 	return n
 }
 
-// Split chunks a gradient message into MTU-sized packets.
-func (c Codec) Split(m *GradientMsg, mtu int) []Packet {
+// PacketsPerTransfer returns how many datagrams one dim-coordinate
+// transfer occupies at the given MTU — the quantity both endpoints of the
+// scheduled-loss protocol must agree on (drop masks are indexed by packet
+// number), so it lives here rather than being re-derived at each site.
+func (c Codec) PacketsPerTransfer(dim, mtu int) int {
 	per := c.CoordsPerPacket(mtu)
-	dim := len(m.Grad)
 	count := (dim + per - 1) / per
 	if count == 0 {
 		count = 1
 	}
-	out := make([]Packet, 0, count)
+	return count
+}
+
+// CountSurvivors returns how many of the pktCount packets of one transfer
+// are not masked out by the scheduled-drop mask (indexes beyond the mask
+// survive).
+func CountSurvivors(mask []bool, pktCount int) int {
+	surv := 0
+	for i := 0; i < pktCount; i++ {
+		if i >= len(mask) || !mask[i] {
+			surv++
+		}
+	}
+	return surv
+}
+
+// Split chunks a gradient message into MTU-sized packets.
+func (c Codec) Split(m *GradientMsg, mtu int) []Packet {
+	per := c.CoordsPerPacket(mtu)
+	dim := len(m.Grad)
+	out := make([]Packet, 0, c.PacketsPerTransfer(dim, mtu))
 	for off := 0; off < dim || (dim == 0 && off == 0); off += per {
 		hi := off + per
 		if hi > dim {

@@ -23,16 +23,29 @@ type UDPSender struct {
 	mtu      int
 	dropRate float64
 	rng      *rand.Rand
+
+	// Pacing state: a datagram burst larger than the receiver's kernel
+	// buffer is silently truncated by the kernel (the "loss-free" channel
+	// genuinely drops). SetPacing bounds the burst rate.
+	paceBurst int
+	paceDelay time.Duration
+	burstAcc  int
 }
 
 // DialUDP creates a sender toward addr with an artificial drop rate in
-// [0, 1) applied before the socket write.
+// [0, 1) applied before the socket write. The MTU must fit at least the
+// packet header plus one coordinate (Codec.MinMTU); zero selects
+// DefaultMTU.
 func DialUDP(addr string, codec Codec, mtu int, dropRate float64, seed int64) (*UDPSender, error) {
 	if dropRate < 0 || dropRate >= 1 {
 		return nil, fmt.Errorf("transport: drop rate %v out of [0,1)", dropRate)
 	}
 	if mtu <= 0 {
 		mtu = DefaultMTU
+	}
+	if mtu < codec.MinMTU() {
+		return nil, fmt.Errorf("transport: mtu %d below the minimum %d (packet header + one coordinate)",
+			mtu, codec.MinMTU())
 	}
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -76,14 +89,36 @@ func (s *UDPSender) SendGradient(m *GradientMsg) error {
 	return nil
 }
 
+// SetPacing rate-limits the sender: after every burstBytes of datagram
+// payload written, the sender sleeps for delay so the receiver can drain its
+// kernel buffer. Without pacing, a paper-scale broadcast (d = 1.75M ≈ 14 MB
+// of datagrams) written back-to-back overflows any realistic SO_RCVBUF — the
+// kernel silently discards the excess, turning the nominally loss-free
+// channel into a lossy one. Pacing changes only timing, never content, so
+// deterministic trajectories are unaffected. burstBytes <= 0 disables
+// pacing.
+func (s *UDPSender) SetPacing(burstBytes int, delay time.Duration) {
+	s.paceBurst = burstBytes
+	s.paceDelay = delay
+	s.burstAcc = 0
+}
+
 // SendPacket writes one already-split packet, bypassing the sender's own
 // drop injection. Callers that key loss on external state — the UDP cluster
 // backend drops per a (seed, step, worker)-derived schedule so both
 // endpoints can evaluate it — split with Codec.Split and push the surviving
 // packets through here.
 func (s *UDPSender) SendPacket(p *Packet) error {
-	if _, err := s.conn.Write(s.codec.EncodePacket(p)); err != nil {
+	buf := s.codec.EncodePacket(p)
+	if _, err := s.conn.Write(buf); err != nil {
 		return fmt.Errorf("transport: udp write: %w", err)
+	}
+	if s.paceBurst > 0 {
+		s.burstAcc += len(buf)
+		if s.burstAcc >= s.paceBurst {
+			s.burstAcc = 0
+			time.Sleep(s.paceDelay)
+		}
 	}
 	return nil
 }
@@ -110,7 +145,10 @@ func ListenUDP(addr string, codec Codec, policy RecoupPolicy, seed int64) (*UDPR
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
 	}
-	// Large receive buffer: a full gradient arrives as a burst.
+	// Large receive buffer: a full gradient arrives as a burst. The kernel
+	// caps this request at net.core.rmem_max (often well below 8 MB), so
+	// large transfers additionally rely on sender pacing — see
+	// UDPSender.SetPacing.
 	_ = conn.SetReadBuffer(8 << 20)
 	return &UDPReceiver{
 		conn:  conn,
@@ -122,6 +160,12 @@ func ListenUDP(addr string, codec Codec, policy RecoupPolicy, seed int64) (*UDPR
 
 // Addr returns the bound address.
 func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
+
+// SetReadBuffer adjusts the socket receive buffer. The kernel caps the
+// request at net.core.rmem_max, so a large buffer alone cannot absorb a
+// paper-scale broadcast burst — senders must pace (UDPSender.SetPacing).
+// Tests force it small to reproduce kernel drops deterministically.
+func (r *UDPReceiver) SetReadBuffer(bytes int) error { return r.conn.SetReadBuffer(bytes) }
 
 // RecvGradient blocks until one gradient completes or the timeout passes.
 // On timeout, pending partial gradients are recouped per the policy; if the
