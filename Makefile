@@ -3,10 +3,11 @@ SMOKE_OUT ?= /tmp/aggregathor-scenario-smoke.json
 TCP_SMOKE_OUT ?= /tmp/aggregathor-scenario-tcp-smoke.json
 UDP_SMOKE_OUT ?= /tmp/aggregathor-scenario-udp-smoke.json
 MODEL_LOSS_SMOKE_OUT ?= /tmp/aggregathor-scenario-model-loss-smoke.json
+WIRE_SMOKE_OUT ?= /tmp/aggregathor-scenario-wire-smoke.json
 
 BENCH_JSON_DIR ?= .
 
-.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss bench-json ci clean
+.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire bench-json ci clean
 
 all: ci
 
@@ -51,14 +52,23 @@ smoke-udp:
 smoke-model-loss:
 	$(GO) run ./cmd/scenario -builtin model-loss-smoke -out $(MODEL_LOSS_SMOKE_OUT)
 
+# Run the built-in wire-format campaign (float64 vs float32 over UDP, perfect
+# and 10%-lossy links) twice and require byte-identical JSON: the float32 wire
+# must be exactly as deterministic as the float64 one.
+smoke-wire:
+	$(GO) run ./cmd/scenario -builtin wire-smoke -out $(WIRE_SMOKE_OUT)
+	$(GO) run ./cmd/scenario -builtin wire-smoke -out $(WIRE_SMOKE_OUT).rerun
+	cmp $(WIRE_SMOKE_OUT) $(WIRE_SMOKE_OUT).rerun
+
 # Time the GAR kernel engine (fresh + workspace aggregation, distance
 # schedules) and write BENCH_aggregation.json — the perf trajectory to diff
 # across commits on the same machine.
 bench-json:
 	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
-ci: vet build race smoke smoke-tcp smoke-udp smoke-model-loss
+ci: vet build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire
 
 clean:
 	$(GO) clean ./...
-	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT) $(MODEL_LOSS_SMOKE_OUT)
+	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT) $(MODEL_LOSS_SMOKE_OUT) \
+		$(WIRE_SMOKE_OUT) $(WIRE_SMOKE_OUT).rerun

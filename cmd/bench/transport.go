@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"math/rand"
+
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+// transportResult is one row of the transport section of
+// BENCH_aggregation.json: real-socket UDP gradient transfer at the d=200k
+// operating point. gradient_mb_per_s counts the in-memory gradient payload
+// (d × 8 bytes per transfer) so the float32 wire shows up as a genuine
+// end-to-end speedup, not a smaller numerator; packets_per_s and
+// allocs_per_packet expose the syscall-batching and zero-copy-encode axes.
+type transportResult struct {
+	Name            string  `json:"name"`
+	Iters           int     `json:"iters"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	GradientMBPerS  float64 `json:"gradient_mb_per_s"`
+	PacketsPerS     float64 `json:"packets_per_s"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	Batched         bool    `json:"batched"`
+}
+
+// transportDim is the gradient dimension of the transport rows: large
+// enough that one transfer is ~1.2k datagrams (the syscall-batching lever),
+// small enough that a full float64 transfer (~1.6 MB) sits inside the
+// kernel receive buffer, keeping the loopback bench loss-free without
+// pacing.
+const transportDim = 200_000
+
+// benchTransportRows measures the transport section: end-to-end rows for
+// {float64 unbatched, float64 batched, float32 batched} and a send-path-only
+// row pinning the zero-copy encode arena at 0 allocs/packet.
+func benchTransportRows() ([]transportResult, error) {
+	rng := rand.New(rand.NewSource(*seed))
+	grad := tensor.NewVector(transportDim)
+	for j := range grad {
+		grad[j] = rng.NormFloat64()
+	}
+	configs := []struct {
+		name    string
+		codec   transport.Codec
+		batched bool
+	}{
+		{"e2e/f64-unbatched", transport.Codec{}, false},
+		{"e2e/f64-batched", transport.Codec{}, true},
+		{"e2e/f32-batched", transport.Codec{Float32: true}, true},
+	}
+	var rows []transportResult
+	for _, cfg := range configs {
+		row, err := benchTransportE2E(cfg.name, cfg.codec, cfg.batched, grad)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	sendRow, err := benchTransportSend("send/f32-batched", transport.Codec{Float32: true}, grad)
+	if err != nil {
+		return nil, err
+	}
+	return append(rows, sendRow), nil
+}
+
+// benchTransportE2E times complete gradient transfers over a loopback UDP
+// socket pair: split, encode, write, read, decode, reassemble. One transfer
+// is in flight at a time, so the kernel receive buffer bounds the burst and
+// the loopback path stays loss-free.
+func benchTransportE2E(name string, codec transport.Codec, batched bool, grad tensor.Vector) (transportResult, error) {
+	recv, err := transport.ListenUDP("127.0.0.1:0", codec, transport.DropGradient, 1)
+	if err != nil {
+		return transportResult{}, err
+	}
+	defer recv.Close()
+	send, err := transport.DialUDP(recv.Addr(), codec, transport.DefaultMTU, 0, 1)
+	if err != nil {
+		return transportResult{}, err
+	}
+	defer send.Close()
+	send.SetBatching(batched)
+
+	msg := &transport.GradientMsg{Worker: 1, Grad: grad}
+	step := 0
+	op := func() error {
+		msg.Step = step
+		step++
+		if err := send.SendGradient(msg); err != nil {
+			return err
+		}
+		got, err := recv.RecvGradient(10 * time.Second)
+		if err != nil {
+			return err
+		}
+		if got.Step != msg.Step || got.Grad.Dim() != grad.Dim() {
+			return fmt.Errorf("bench: transfer corrupted (step %d/%d, dim %d/%d)",
+				got.Step, msg.Step, got.Grad.Dim(), grad.Dim())
+		}
+		return nil
+	}
+	return measureTransport(name, codec, grad.Dim(), send.Batched(), op)
+}
+
+// benchTransportSend times the send path alone — split, zero-copy encode
+// into the arena, sendmmsg — against a raw-drain sink that reads and
+// discards datagrams without decoding, so the row's allocs_per_packet is
+// the send path's and nothing else. This is the zero-allocation contract of
+// the encode arena: the steady-state value must be 0.
+func benchTransportSend(name string, codec transport.Codec, grad tensor.Vector) (transportResult, error) {
+	sinkAddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		return transportResult{}, err
+	}
+	sink, err := net.ListenUDP("udp", sinkAddr)
+	if err != nil {
+		return transportResult{}, err
+	}
+	defer sink.Close()
+	go func() {
+		// Read, not ReadFromUDP: the latter allocates a *UDPAddr per
+		// datagram, which would leak the sink's allocations into the send
+		// path's global alloc count.
+		buf := make([]byte, 65536)
+		for {
+			if _, err := sink.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	send, err := transport.DialUDP(sink.LocalAddr().String(), codec, transport.DefaultMTU, 0, 1)
+	if err != nil {
+		return transportResult{}, err
+	}
+	defer send.Close()
+
+	msg := &transport.GradientMsg{Worker: 1, Grad: grad}
+	step := 0
+	op := func() error {
+		msg.Step = step
+		step++
+		return send.SendGradient(msg)
+	}
+	return measureTransport(name, codec, grad.Dim(), send.Batched(), op)
+}
+
+// measureTransport drives op under the -benchtime budget and distils the
+// transport row. The warm-up call is outside the measurement so arena and
+// scratch growth does not count against the steady state.
+func measureTransport(name string, codec transport.Codec, dim int, batched bool, op func() error) (transportResult, error) {
+	if err := op(); err != nil {
+		return transportResult{}, err
+	}
+	pkts := codec.PacketsPerTransfer(dim, transport.DefaultMTU)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < *benchTime || iters < 3 {
+		if err := op(); err != nil {
+			return transportResult{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	return transportResult{
+		Name:            "transport/" + name,
+		Iters:           iters,
+		NsPerOp:         nsPerOp,
+		GradientMBPerS:  float64(dim*8) / (nsPerOp / 1e9) / 1e6,
+		PacketsPerS:     float64(pkts) / (nsPerOp / 1e9),
+		AllocsPerPacket: float64(ms1.Mallocs-ms0.Mallocs) / float64(iters) / float64(pkts),
+		Batched:         batched,
+	}, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 
@@ -30,6 +31,12 @@ type UDPClusterConfig struct {
 	// picks a free port). Each worker additionally binds its own model
 	// endpoint on a kernel-chosen port.
 	Addr string
+	// WorkerBindHost, when set, is the host each worker binds its model
+	// endpoint on. When empty the host is derived from the worker's
+	// gradient-dial interface toward Addr — the interface that can reach the
+	// server can be reached by it — instead of the hardcoded loopback the
+	// backend used to pin, which silently confined deployments to one host.
+	WorkerBindHost string
 	// ModelFactory builds the network replicas.
 	ModelFactory func() *nn.Network
 	// Workers is n.
@@ -160,6 +167,8 @@ type UDPCluster struct {
 	params tensor.Vector
 	ws     *gar.Workspace // per-cluster aggregation scratch arena
 	step   int
+	// modelPktScratch is the broadcast split scratch, reused every round.
+	modelPktScratch []transport.Packet
 
 	// suspected marks workers that missed a round deadline and are no
 	// longer waited for (a completed gradient for the current step
@@ -325,16 +334,37 @@ func (c *UDPCluster) Start() error {
 		return err
 	}
 	c.recv = recv
-	// The deployment's exact dimension is known: a spoofed header must not
-	// make any endpoint allocate beyond it.
-	recv.Reassembler().SetMaxDim(c.params.Dim())
+	// The deployment's exact dimension is known: pin it, so a spoofed
+	// header can neither allocate beyond it nor evict a pending partial.
+	recv.Reassembler().SetExpectDim(c.params.Dim())
+	bindHost := c.cfg.WorkerBindHost
 	for id := 0; id < c.cfg.Workers; id++ {
-		mrecv, err := transport.ListenUDP("127.0.0.1:0", c.cfg.Codec, transport.DropGradient, 0)
+		// Gradient loss is injected by the shared schedule, not the
+		// sender's own rng: drop rate 0 on the sender. Dialled first so the
+		// worker's model endpoint can bind the same interface the kernel
+		// routes toward the server — the old hardcoded "127.0.0.1:0" bind
+		// silently confined the backend to one host.
+		gsend, err := transport.DialUDP(recv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
 		if err != nil {
 			c.abortStart()
 			return err
 		}
-		mrecv.Reassembler().SetMaxDim(c.params.Dim())
+		gsend.SetPacing(udpPaceBurst, udpPaceDelay)
+		c.gradSenders = append(c.gradSenders, gsend)
+		if bindHost == "" {
+			host, _, err := net.SplitHostPort(gsend.LocalAddr())
+			if err != nil {
+				c.abortStart()
+				return fmt.Errorf("cluster: derive worker bind host from %q: %w", gsend.LocalAddr(), err)
+			}
+			bindHost = host
+		}
+		mrecv, err := transport.ListenUDP(net.JoinHostPort(bindHost, "0"), c.cfg.Codec, transport.DropGradient, 0)
+		if err != nil {
+			c.abortStart()
+			return err
+		}
+		mrecv.Reassembler().SetExpectDim(c.params.Dim())
 		c.modelRecvs = append(c.modelRecvs, mrecv)
 		// Model loss is injected by the shared modelDropSchedule, not the
 		// sender's own rng: drop rate 0 on the sender.
@@ -345,15 +375,6 @@ func (c *UDPCluster) Start() error {
 		}
 		msend.SetPacing(udpPaceBurst, udpPaceDelay)
 		c.modelSenders = append(c.modelSenders, msend)
-		// Gradient loss is injected by the shared schedule, not the
-		// sender's own rng: drop rate 0 here too.
-		gsend, err := transport.DialUDP(recv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
-		if err != nil {
-			c.abortStart()
-			return err
-		}
-		gsend.SetPacing(udpPaceBurst, udpPaceDelay)
-		c.gradSenders = append(c.gradSenders, gsend)
 	}
 	workers := make([]*clusterWorker, c.cfg.Workers)
 	for id := 0; id < c.cfg.Workers; id++ {
@@ -417,6 +438,7 @@ func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, s
 	})
 	lastStep := -1 // last complete model held (mirrors the server's lastComplete)
 	var lastParams tensor.Vector
+	var pktScratch []transport.Packet // split scratch, reused every round
 	for {
 		ev, err := col.Next()
 		if err != nil {
@@ -443,18 +465,14 @@ func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, s
 			continue // consume the broadcast, never answer (crashed node)
 		}
 		msg := w.submission(model)
-		pkts := c.cfg.Codec.Split(msg, c.cfg.MTU)
+		pktScratch = c.cfg.Codec.SplitInto(pktScratch[:0], msg, c.cfg.MTU)
 		// The uplink schedule stays keyed on the round (ev.Step), not the
 		// stale tag, so two stale submissions off the same model never
-		// reuse a drop mask.
-		drop := udpDropSchedule(c.cfg.Seed, ev.Step, w.id, len(pkts), c.cfg.DropRate)
-		for i := range pkts {
-			if drop[i] {
-				continue // the tc stand-in: this datagram "was lost"
-			}
-			if err := send.SendPacket(&pkts[i]); err != nil {
-				return err
-			}
+		// reuse a drop mask. SendPackets applies the mask and moves the
+		// survivors through the sender's arena in sendmmsg batches.
+		drop := udpDropSchedule(c.cfg.Seed, ev.Step, w.id, len(pktScratch), c.cfg.DropRate)
+		if err := send.SendPackets(pktScratch, drop); err != nil {
+			return err
 		}
 	}
 }
@@ -516,19 +534,15 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 
 	// Broadcast phase. Suspected workers are included — a straggler that
 	// recovers can rejoin the round. Scheduled downlink drops are applied
-	// before the write, mirroring the uplink design. Paced writes to a
-	// live socket never block for long, so sequential sends are fine.
-	modelPkts := c.cfg.Codec.Split(&transport.GradientMsg{
+	// before the write (SendPackets takes the mask), mirroring the uplink
+	// design. Paced writes to a live socket never block for long, so
+	// sequential sends are fine.
+	c.modelPktScratch = c.cfg.Codec.SplitInto(c.modelPktScratch[:0], &transport.GradientMsg{
 		Worker: transport.ModelWorkerID, Step: c.step, Grad: c.params,
 	}, c.cfg.MTU)
 	for id, s := range c.modelSenders {
-		for i := range modelPkts {
-			if i < len(modelDrop[id]) && modelDrop[id][i] {
-				continue // scheduled downlink loss: this datagram "was lost"
-			}
-			if err := s.SendPacket(&modelPkts[i]); err != nil {
-				return nil, fmt.Errorf("cluster: model broadcast to worker %d at step %d: %w", id, c.step, err)
-			}
+		if err := s.SendPackets(c.modelPktScratch, modelDrop[id]); err != nil {
+			return nil, fmt.Errorf("cluster: model broadcast to worker %d at step %d: %w", id, c.step, err)
 		}
 	}
 

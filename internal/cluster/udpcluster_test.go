@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"net"
 	"math"
 	"math/rand"
 	"testing"
@@ -374,6 +375,142 @@ func TestUDPClusterConfigValidation(t *testing.T) {
 		m(&cfg)
 		if _, err := NewUDPCluster(cfg); err == nil {
 			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestUDPClusterSurvivesGradientSpoofCensorship is the cluster-layer
+// failing-first regression test for the spoof-censorship bug: a Byzantine
+// peer spoofing ONE datagram per honest worker — correct worker id, step
+// and dimension, garbage Loss metadata — ahead of the round's honest
+// packets used to pin the partials' metadata, so every honest packet was
+// rejected as a "metadata conflict" and every round was skipped with zero
+// gradients (DropGradient recoup): one datagram per worker censored the
+// whole deployment. With evict-and-rebuild in the reassembler the honest
+// packets evict the spoofed partials and the rounds complete normally.
+func TestUDPClusterSurvivesGradientSpoofCensorship(t *testing.T) {
+	cl, _, _ := udpFixture(t, UDPClusterConfig{
+		Workers:      3,
+		GAR:          gar.Average{},
+		Recoup:       transport.DropGradient,
+		Seed:         11,
+		RoundTimeout: 2 * time.Second,
+	})
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	hostile, err := transport.DialUDP(cl.recv.Addr(), transport.Codec{}, transport.DefaultMTU, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hostile.Close()
+	dim := cl.Params().Dim()
+	for step := 0; step < 4; step++ {
+		// The spoofs are written before Step broadcasts the model, so they
+		// are guaranteed to sit in the server's socket buffer ahead of any
+		// honest gradient for this round.
+		for id := 0; id < 3; id++ {
+			spoof := &transport.Packet{
+				Worker: id, Step: step, Loss: 999.25, Dim: dim, Offset: 0,
+				Coords: make([]float64, 1),
+			}
+			if err := hostile.SendPacket(spoof); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sr, err := cl.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Skipped || sr.Received != 3 {
+			t.Fatalf("step %d: received %d (skipped=%v) — spoofed datagrams censored honest workers",
+				step, sr.Received, sr.Skipped)
+		}
+		if sr.Loss > 500 {
+			t.Fatalf("step %d: spoofed loss metadata leaked into the round mean (%v)", step, sr.Loss)
+		}
+	}
+	if ev := cl.recv.Reassembler().Evictions(); ev == 0 {
+		t.Fatal("no evictions recorded; the spoofs never raced the honest packets and the test lost its teeth")
+	}
+}
+
+// nonLoopbackIPv4 returns a routable non-loopback IPv4 address of this
+// host, or "" when the environment offers none (air-gapped CI).
+func nonLoopbackIPv4(t *testing.T) string {
+	t.Helper()
+	addrs, err := net.InterfaceAddrs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range addrs {
+		ipn, ok := a.(*net.IPNet)
+		if !ok || ipn.IP.IsLoopback() {
+			continue
+		}
+		if v4 := ipn.IP.To4(); v4 != nil {
+			return v4.String()
+		}
+	}
+	return ""
+}
+
+// TestUDPClusterWorkerBindHostFollowsServer is the regression test for the
+// hardcoded loopback model bind: with the server's gradient endpoint on a
+// non-loopback interface, every worker's model endpoint must bind the
+// interface its gradient socket dials the server through — binding
+// "127.0.0.1" there (the old behaviour) silently confines the backend to
+// one host, because a remote server cannot reach a loopback-bound endpoint.
+func TestUDPClusterWorkerBindHostFollowsServer(t *testing.T) {
+	host := nonLoopbackIPv4(t)
+	if host == "" {
+		t.Skip("no non-loopback IPv4 interface available")
+	}
+	cl, _, _ := udpFixture(t, UDPClusterConfig{Workers: 3, GAR: gar.Average{}, Seed: 5})
+	cl.cfg.Addr = net.JoinHostPort(host, "0")
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for id, r := range cl.modelRecvs {
+		got, _, err := net.SplitHostPort(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != host {
+			t.Fatalf("worker %d model endpoint bound %q, want the gradient-dial interface %q", id, got, host)
+		}
+	}
+	// The deployment must actually train over the non-loopback path.
+	for i := 0; i < 3; i++ {
+		sr, err := cl.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.Received != 3 {
+			t.Fatalf("step %d: received %d, want 3", i, sr.Received)
+		}
+	}
+}
+
+// TestUDPClusterWorkerBindHostKnob pins the explicit configuration path:
+// WorkerBindHost overrides the derived host.
+func TestUDPClusterWorkerBindHostKnob(t *testing.T) {
+	cl, _, _ := udpFixture(t, UDPClusterConfig{Workers: 2, GAR: gar.Average{}, Seed: 5})
+	cl.cfg.WorkerBindHost = "127.0.0.1"
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for id, r := range cl.modelRecvs {
+		got, _, err := net.SplitHostPort(r.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "127.0.0.1" {
+			t.Fatalf("worker %d model endpoint bound %q, want the configured 127.0.0.1", id, got)
 		}
 	}
 }

@@ -182,6 +182,17 @@ type Config struct {
 	HijackWorkers []int
 	// UDPLinks is how many worker links use the lossy UDP transport.
 	UDPLinks int
+	// WireFormat selects the coordinate width on lossy links: "" or
+	// "float64" (the default, lossless full-precision coordinates) or
+	// "float32" (half the bytes per gradient — the paper's TensorFlow
+	// deployments ship float32 tensors). The axis covers both the udp
+	// backend's real datagrams and the in-process lossy pipes selected by
+	// UDPLinks; reliable deployments (in-process method calls, tcp) always
+	// carry float64 and reject a "float32" request instead of silently
+	// ignoring it. Note the in-process lossy pipe historically hardwired
+	// float32 while the udp backend defaulted to float64; both now follow
+	// this one knob, defaulting to float64.
+	WireFormat string
 	// DropRate is the artificial packet drop probability on UDP links.
 	DropRate float64
 	// Recoup selects the lost-coordinate policy on UDP links.
@@ -322,8 +333,15 @@ func buildWorkers(cfg Config, train *data.Dataset) ([]ps.WorkerConfig, error) {
 			workers[i].Attack = atk
 		}
 		if i < cfg.UDPLinks {
+			// The pipe codec follows the WireFormat axis (default float64,
+			// matching the udp backend) rather than the historical
+			// hardwired float32.
+			wire, err := transport.ParseWireFormat(cfg.WireFormat)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
 			workers[i].Pipe = transport.NewLossyPipe(
-				transport.Codec{Float32: true}, transport.DefaultMTU,
+				wire, transport.DefaultMTU,
 				cfg.DropRate, cfg.Recoup, cfg.Seed+int64(i)*17+5)
 		}
 	}
@@ -340,6 +358,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Backend != BackendUDP && (cfg.ModelDropRate != 0 || cfg.ModelRecoup != cluster.ModelRecoupSkip) {
 		return nil, fmt.Errorf("core: lossy model broadcasts (ModelDropRate/ModelRecoup) need backend %q, got %q",
 			BackendUDP, cfg.Backend)
+	}
+	// The wire format is a lossy-link property: only the udp backend and
+	// the in-process lossy pipes have a wire at all. A "float32" request on
+	// a reliable deployment would silently train on float64 tensors, so it
+	// is rejected the same way lossy model broadcasts are.
+	wire, err := transport.ParseWireFormat(cfg.WireFormat)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if wire.Float32 && cfg.Backend != BackendUDP && cfg.UDPLinks == 0 {
+		return nil, fmt.Errorf("core: wire format %q needs backend %q or UDPLinks > 0, got backend %q",
+			transport.WireFloat32, BackendUDP, cfg.Backend)
 	}
 	switch cfg.Backend {
 	case "", BackendInProcess:

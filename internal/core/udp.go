@@ -2,12 +2,14 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"aggregathor/internal/cluster"
 	"aggregathor/internal/data"
 	"aggregathor/internal/gar"
 	"aggregathor/internal/nn"
 	"aggregathor/internal/opt"
+	"aggregathor/internal/transport"
 )
 
 // ErrUDPUnsupported is returned for udp-backend configs that request
@@ -23,10 +25,15 @@ var ErrUDPUnsupported = errors.New("core: option not supported with the udp back
 // run stays a pure function of the configuration because the drop schedule
 // and the recoup values are keyed on (seed, step, worker).
 func runUDP(cfg Config) (*Result, error) {
+	wire, err := transport.ParseWireFormat(cfg.WireFormat)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return runSocketBackend(cfg, ErrUDPUnsupported,
 		func(factory func() *nn.Network, train *data.Dataset, rule gar.GAR, optimizer opt.Optimizer) (socketCluster, error) {
 			return cluster.NewUDPCluster(cluster.UDPClusterConfig{
 				Addr:          "127.0.0.1:0",
+				Codec:         wire,
 				ModelFactory:  factory,
 				Workers:       cfg.Workers,
 				GAR:           rule,

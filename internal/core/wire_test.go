@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"aggregathor/internal/transport"
+)
+
+// TestWireFormatRejectedOffLossyLinks pins the config-plumbing validation
+// for the wire-format axis: only deployments with a lossy wire (the udp
+// backend, or in-process lossy pipes via UDPLinks) have a coordinate width
+// to choose, and a "float32" request anywhere else must fail loudly rather
+// than silently training on float64 tensors. Unknown names fail everywhere.
+func TestWireFormatRejectedOffLossyLinks(t *testing.T) {
+	for i, backend := range []string{"", BackendInProcess, BackendTCP} {
+		cfg := Config{Backend: backend, Workers: 3, Steps: 2, Batch: 4,
+			Aggregator: "average", WireFormat: transport.WireFloat32}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: backend %q accepted wire format float32 without lossy links", i, backend)
+		}
+	}
+	for i, backend := range []string{"", BackendInProcess, BackendTCP, BackendUDP} {
+		cfg := Config{Backend: backend, Workers: 3, Steps: 2, Batch: 4,
+			Aggregator: "average", WireFormat: "float16"}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: backend %q accepted unknown wire format", i, backend)
+		}
+	}
+}
+
+// TestWireFormatFloat64IsExplicitDefault pins that naming the default
+// ("float64") is a no-op: the run equals the empty-string run bit-for-bit
+// on every backend that accepts it.
+func TestWireFormatFloat64IsExplicitDefault(t *testing.T) {
+	cfg := Config{
+		Experiment: "features-mlp",
+		Backend:    BackendUDP,
+		Aggregator: "median",
+		Workers:    5,
+		Batch:      16,
+		Steps:      6,
+		EvalEvery:  3,
+		LR:         5e-3,
+		Seed:       7,
+		DropRate:   0.10,
+		Recoup:     transport.FillRandom,
+	}
+	implicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WireFormat = transport.WireFloat64
+	explicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, "accuracy-vs-step", implicit.AccuracyVsStep, explicit.AccuracyVsStep)
+	assertSeriesEqual(t, "loss-vs-step", implicit.LossVsStep, explicit.LossVsStep)
+	if implicit.FinalAccuracy != explicit.FinalAccuracy {
+		t.Fatalf("final accuracy %v vs %v between implicit and explicit float64",
+			implicit.FinalAccuracy, explicit.FinalAccuracy)
+	}
+}
+
+// TestUDPBackendFloat32ByzantineSmoke is the float32 Byzantine smoke cell:
+// {multi-krum, median} × {reversed, non-finite} over real UDP datagrams at
+// 10% loss on the float32 wire. Each cell must converge (the GAR discards
+// the attacker despite quantisation), stay finite, and reproduce
+// bit-identically across reruns — the float32 rounding is deterministic.
+func TestUDPBackendFloat32ByzantineSmoke(t *testing.T) {
+	for _, agg := range []string{"multi-krum", "median"} {
+		for _, atk := range []string{"reversed", "non-finite"} {
+			t.Run(agg+"/"+atk, func(t *testing.T) {
+				cfg := Config{
+					Experiment: "features-mlp",
+					Backend:    BackendUDP,
+					Aggregator: agg,
+					F:          1,
+					Workers:    7,
+					Batch:      16,
+					Steps:      8,
+					EvalEvery:  4,
+					LR:         5e-3,
+					Seed:       13,
+					DropRate:   0.10,
+					Recoup:     transport.FillRandom,
+					WireFormat: transport.WireFloat32,
+					Attacks:    map[int]string{6: atk},
+				}
+				a, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a.Diverged {
+					t.Fatalf("%s diverged under %s on the float32 wire", agg, atk)
+				}
+				b, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSeriesEqual(t, "accuracy-vs-step", a.AccuracyVsStep, b.AccuracyVsStep)
+				assertSeriesEqual(t, "loss-vs-step", a.LossVsStep, b.LossVsStep)
+				if a.FinalAccuracy != b.FinalAccuracy {
+					t.Fatalf("final accuracy %v vs %v across identical float32 runs",
+						a.FinalAccuracy, b.FinalAccuracy)
+				}
+			})
+		}
+	}
+}
+
+// TestInProcessLossyPipeFollowsWireFormat pins the codec-consistency fix:
+// the in-process lossy pipe historically hardwired float32 while the udp
+// backend defaulted to float64. Both now follow the WireFormat axis, so an
+// in-process UDPLinks run and a float32 run must differ (the width knob is
+// live) and each must be deterministic.
+func TestInProcessLossyPipeFollowsWireFormat(t *testing.T) {
+	cfg := Config{
+		Experiment: "features-mlp",
+		Aggregator: "median",
+		Workers:    5,
+		Batch:      16,
+		Steps:      8,
+		EvalEvery:  4,
+		LR:         5e-3,
+		Seed:       9,
+		UDPLinks:   5,
+		DropRate:   0.10,
+		Recoup:     transport.FillRandom,
+	}
+	f64a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSeriesEqual(t, "loss-vs-step", f64a.LossVsStep, f64b.LossVsStep)
+
+	cfg.WireFormat = transport.WireFloat32
+	f32, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := f64a.FinalAccuracy == f32.FinalAccuracy
+	for i, p := range f64a.LossVsStep.Points {
+		if i < len(f32.LossVsStep.Points) && p.Value != f32.LossVsStep.Points[i].Value {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("float32 pipes produced the exact float64 trajectory: the wire-format knob is dead")
+	}
+}

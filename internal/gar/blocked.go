@@ -3,8 +3,6 @@ package gar
 import (
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"aggregathor/internal/tensor"
 )
@@ -139,22 +137,9 @@ func BlockedPairwiseSquaredDistances(grads []tensor.Vector, ws *Workspace, seque
 			distSweep(partials, grads, b, n, nPairs, d)
 		}
 	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					b := int(next.Add(1)) - 1
-					if b >= nBlocks {
-						return
-					}
-					distSweep(partials, grads, b, n, nPairs, d)
-				}
-			}()
-		}
-		wg.Wait()
+		tensor.ParallelFor(nBlocks, workers, func(_, b int) {
+			distSweep(partials, grads, b, n, nPairs, d)
+		})
 	}
 
 	// Reduce the block partials in ascending block order — a fixed

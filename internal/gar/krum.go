@@ -5,8 +5,6 @@ import (
 	"math"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"aggregathor/internal/tensor"
 )
@@ -164,25 +162,11 @@ func PairwiseSquaredDistances(grads []tensor.Vector, sequential bool) [][]float6
 		return dist
 	}
 	// Rows have decreasing cost (row i does n-1-i distance computations),
-	// so hand out rows via a shared atomic counter rather than fixed block
-	// splits — lock-free work stealing keeps every goroutine busy until the
-	// triangle is exhausted without serialising the steal on a mutex.
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fill(i)
-			}
-		}()
-	}
-	wg.Wait()
+	// so hand out rows via the pool's shared atomic counter rather than
+	// fixed block splits — lock-free work stealing keeps every worker busy
+	// until the triangle is exhausted without serialising the steal on a
+	// mutex.
+	tensor.ParallelFor(n, workers, func(_, i int) { fill(i) })
 	return dist
 }
 

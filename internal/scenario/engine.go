@@ -161,6 +161,7 @@ func executeRun(s *Spec, r Run) Result {
 		EvalEvery:     s.EvalEvery,
 		Attacks:       attacks,
 		UDPLinks:      r.Network.udpLinks(r.Cluster.Workers),
+		WireFormat:    r.Network.WireFormat,
 		DropRate:      r.Network.DropRate,
 		Recoup:        policy,
 		ModelDropRate: r.Network.ModelDropRate,

@@ -118,6 +118,10 @@ func (c *Campaign) Summary() string {
 		}
 	}
 
+	if wire := c.wireSection(); wire != "" {
+		b.WriteString(wire)
+	}
+
 	if errs := c.errorLines(); len(errs) > 0 {
 		fmt.Fprintf(&b, "\n== infeasible runs ==\n")
 		for _, line := range errs {
@@ -125,6 +129,96 @@ func (c *Campaign) Summary() string {
 		}
 	}
 	return b.String()
+}
+
+// wireSection renders the wire-format accuracy-delta digest: networks that
+// are identical in every condition except name and coordinate width are
+// paired, and for each pair group the mean final accuracy per format is
+// printed with its delta against the group's float64 baseline — the
+// accuracy price of halving the gradient bytes, read straight off the
+// campaign. Groups with fewer than two formats are omitted; the section
+// disappears entirely when the spec sweeps a single wire format.
+func (c *Campaign) wireSection() string {
+	// Group networks by their condition modulo Name/WireFormat. Marshalling
+	// the stripped struct gives a canonical key (struct field order).
+	groups := map[string][]Network{}
+	var order []string
+	for _, n := range c.Spec.Networks {
+		stripped := n
+		stripped.Name = ""
+		stripped.WireFormat = ""
+		raw, err := json.Marshal(stripped)
+		if err != nil {
+			return ""
+		}
+		key := string(raw)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], n)
+	}
+
+	var b strings.Builder
+	for _, key := range order {
+		nets := groups[key]
+		formats := map[string]bool{}
+		for _, n := range nets {
+			formats[wireName(n.WireFormat)] = true
+		}
+		if len(formats) < 2 {
+			continue
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "\n== wire formats ==\n")
+			fmt.Fprintf(&b, "%-24s %-10s %10s %10s %6s\n", "network", "wire", "mean-acc", "delta", "runs")
+		}
+		baseline := math.NaN()
+		for _, n := range nets {
+			if wireName(n.WireFormat) == "float64" {
+				baseline, _ = c.networkMeanAccuracy(n.Name)
+				break
+			}
+		}
+		for _, n := range nets {
+			mean, scored := c.networkMeanAccuracy(n.Name)
+			meanStr, deltaStr := "-", "-"
+			if scored > 0 {
+				meanStr = fmt.Sprintf("%.4f", mean)
+				if wireName(n.WireFormat) != "float64" && !math.IsNaN(baseline) {
+					deltaStr = fmt.Sprintf("%+.4f", mean-baseline)
+				}
+			}
+			fmt.Fprintf(&b, "%-24s %-10s %10s %10s %6d\n",
+				n.Name, wireName(n.WireFormat), meanStr, deltaStr, scored)
+		}
+	}
+	return b.String()
+}
+
+// wireName canonicalises the wire-format label ("" means float64).
+func wireName(w string) string {
+	if w == "" {
+		return "float64"
+	}
+	return w
+}
+
+// networkMeanAccuracy returns the mean final accuracy over the scored
+// (non-errored) runs of one network condition, and how many were scored.
+func (c *Campaign) networkMeanAccuracy(network string) (float64, int) {
+	var sum float64
+	var n int
+	for _, res := range c.Results {
+		if res.Run.Network.Name != network || res.Error != "" {
+			continue
+		}
+		sum += res.FinalAccuracy
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	return sum / float64(n), n
 }
 
 // errorLines lists errored runs in expansion order.

@@ -69,6 +69,12 @@ type Network struct {
 	// function of (seed, step, worker) via ps.ModelDropSeed, so
 	// lossy-model campaigns stay byte-reproducible.
 	ModelDropRate float64 `json:"modelDropRate,omitempty"`
+	// WireFormat selects the coordinate width on this cell's lossy links:
+	// "" or "float64" (default, lossless) or "float32" (half the gradient
+	// bytes, deterministic rounding). Applies to the udp backend's real
+	// datagrams and to in-memory lossy pipes (udpLinks); reliable cells
+	// reject "float32" instead of silently training on float64.
+	WireFormat string `json:"wireFormat,omitempty"`
 	// ModelRecoup selects the worker policy for torn model broadcasts:
 	// "skip" (default — consume and sit the round out) or "stale" (train
 	// on the last complete model and submit a stale-tagged gradient,
@@ -243,6 +249,14 @@ func (s *Spec) Validate() error {
 		}
 		if _, err := n.modelRecoupPolicy(); err != nil {
 			return err
+		}
+		wire, err := transport.ParseWireFormat(n.WireFormat)
+		if err != nil {
+			return fmt.Errorf("scenario: network %q: %w", n.Name, err)
+		}
+		if wire.Float32 && n.Backend != core.BackendUDP && n.UDPLinks == 0 {
+			return fmt.Errorf("scenario: network %q sets wireFormat %q without backend \"udp\" or udpLinks (reliable links always carry float64)",
+				n.Name, transport.WireFloat32)
 		}
 		if n.UDPLinks < -1 {
 			return fmt.Errorf("scenario: network %q udpLinks %d", n.Name, n.UDPLinks)
@@ -434,6 +448,39 @@ func UDPSmokeSpec() Spec {
 			{Name: "in-process"},
 			{Name: "udp-distributed", Backend: "udp"},
 			{Name: "udp-lossy", Backend: "udp", DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     30,
+		Batch:     16,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// WireSmokeSpec returns the built-in wire-format demonstration campaign
+// (cmd/scenario -builtin wire-smoke): the udp-smoke cells swept in-process,
+// over real UDP sockets on both coordinate widths (float64 and float32, on
+// perfect and 10%-lossy links), so the accuracy cost of halving the
+// gradient bytes can be read directly from the report's wire-format delta
+// section. Float32 cells stay byte-reproducible: the rounding is
+// deterministic and the drop schedule is a pure function of
+// (seed, step, worker).
+func WireSmokeSpec() Spec {
+	s := Spec{
+		Name:       "wire-smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"median", "multi-krum"},
+		Attacks:    []string{AttackNone, "reversed", "non-finite"},
+		Clusters:   []Cluster{{Workers: 7, F: 1}},
+		Networks: []Network{
+			{Name: "in-process"},
+			{Name: "udp-f64", Backend: "udp"},
+			{Name: "udp-f32", Backend: "udp", WireFormat: "float32"},
+			{Name: "udp-f64-lossy", Backend: "udp", DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
+			{Name: "udp-f32-lossy", Backend: "udp", WireFormat: "float32", DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
 		},
 		Seeds:     []int64{1},
 		Steps:     30,

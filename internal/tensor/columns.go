@@ -3,8 +3,6 @@ package tensor
 import (
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // This file implements the blocked column-pass engine shared by every
@@ -121,24 +119,10 @@ func (e *ColumnEngine) Run(out Vector, vs []Vector, arg int, kernel ColumnKernel
 		return
 	}
 	e.ensure(workers, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			tile := e.tiles[w*colTileCoords*n : (w+1)*colTileCoords*n]
-			ctx := &e.ctxs[w]
-			for {
-				t := int(next.Add(1)) - 1
-				if t >= nTiles {
-					return
-				}
-				e.runTile(ctx, tile, out, vs, t, arg, kernel)
-			}
-		}(w)
-	}
-	wg.Wait()
+	ParallelFor(nTiles, workers, func(w, t int) {
+		tile := e.tiles[w*colTileCoords*n : (w+1)*colTileCoords*n]
+		e.runTile(&e.ctxs[w], tile, out, vs, t, arg, kernel)
+	})
 }
 
 // runTile gathers tile t and applies the kernel to each of its columns.

@@ -1,0 +1,97 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the persistent worker pool behind every parallel
+// sweep of the aggregation engine (the blocked distance sweep, the
+// row-streaming distance reference, the blocked column pass). The previous
+// scheme spawned fresh goroutines on every call — at campaign scale that is
+// hundreds of thousands of spawns, each paying stack allocation and
+// scheduler handoff on the hot aggregation path. The pool starts
+// GOMAXPROCS−1 long-lived workers on first use; a ParallelFor hands them an
+// index range through an unbuffered channel and joins the sweep itself, so
+// a busy pool degrades to the caller doing more of the work rather than
+// blocking, and an idle machine parks the workers on a channel receive.
+
+// poolTask is one ParallelFor invocation: a shared atomic index counter
+// drained by the caller and every helper that picked the task up.
+type poolTask struct {
+	fn   func(worker, index int)
+	ids  atomic.Int64 // next helper worker id (caller is 0)
+	next atomic.Int64 // next index to claim
+	n    int
+	wg   sync.WaitGroup
+}
+
+// drain claims indexes until the range is exhausted.
+func (t *poolTask) drain(worker int) {
+	for {
+		i := int(t.next.Add(1)) - 1
+		if i >= t.n {
+			return
+		}
+		t.fn(worker, i)
+	}
+}
+
+var (
+	poolOnce  sync.Once
+	poolTasks chan *poolTask
+)
+
+// startPool launches the long-lived helpers. GOMAXPROCS−1 of them: the
+// caller of every ParallelFor is the remaining worker.
+func startPool() {
+	poolTasks = make(chan *poolTask)
+	for i := 1; i < runtime.GOMAXPROCS(0); i++ {
+		go func() {
+			for t := range poolTasks {
+				t.drain(int(t.ids.Add(1)))
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// ParallelFor runs fn(worker, index) for every index in [0, n), spread
+// over at most workers concurrent goroutines from the persistent pool (the
+// caller counts as one and always participates). Worker ids are dense in
+// [0, workers) and each id is held by exactly one goroutine for the call's
+// duration, so fn may index per-worker scratch by worker. Helpers are
+// recruited without blocking: when the pool is busy the caller simply
+// drains more of the range itself. The index→worker assignment is
+// scheduling-dependent; callers must make fn(i) independent of which
+// worker runs it (every engine sweep writes disjoint outputs per index).
+func ParallelFor(n, workers int, fn func(worker, index int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	poolOnce.Do(startPool)
+	t := &poolTask{fn: fn, n: n}
+	for h := 1; h < workers; h++ {
+		t.wg.Add(1)
+		select {
+		case poolTasks <- t:
+			continue
+		default:
+		}
+		// No helper free right now: stop recruiting and get to work.
+		t.wg.Done()
+		break
+	}
+	t.drain(0)
+	t.wg.Wait()
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForCoversEveryIndexOnce pins the pool's scheduling contract:
+// every index in [0, n) runs exactly once, for ranges smaller and larger
+// than the worker count, repeatedly on the same (persistent) pool.
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 1000} {
+		for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 64} {
+			for rep := 0; rep < 3; rep++ {
+				counts := make([]atomic.Int32, n)
+				ParallelFor(n, workers, func(_, i int) {
+					counts[i].Add(1)
+				})
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("n=%d workers=%d rep=%d: index %d ran %d times", n, workers, rep, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForWorkerIDsAreExclusive pins the per-worker-scratch
+// contract: worker ids stay in [0, workers) and no two goroutines hold the
+// same id concurrently (each id's invocations are serial), so callers may
+// index mutable scratch by worker id.
+func TestParallelForWorkerIDsAreExclusive(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		t.Skip("needs GOMAXPROCS >= 2")
+	}
+	const n = 512
+	busy := make([]atomic.Int32, workers)
+	ParallelFor(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker id %d outside [0, %d)", w, workers)
+			return
+		}
+		if busy[w].Add(1) != 1 {
+			t.Errorf("worker id %d held by two goroutines at once", w)
+		}
+		for k := 0; k < 100; k++ { // widen the overlap window
+			_ = k
+		}
+		busy[w].Add(-1)
+	})
+}
+
+// TestParallelForPropagatesToOutput is the end-to-end shape: a parallel
+// square over a shared output slice with disjoint per-index writes.
+func TestParallelForPropagatesToOutput(t *testing.T) {
+	const n = 4096
+	out := make([]int, n)
+	ParallelFor(n, runtime.GOMAXPROCS(0), func(_, i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

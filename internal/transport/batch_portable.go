@@ -1,0 +1,55 @@
+//go:build !linux || !(amd64 || arm64)
+
+// Portable fallback for the batched datagram I/O in batch_linux.go: the
+// same sendBatcher/recvBatcher interface, implemented one datagram and one
+// syscall at a time through the standard net methods.
+package transport
+
+import "net"
+
+// batchedSyscalls reports whether this platform batches datagram syscalls.
+const batchedSyscalls = false
+
+type sendBatcher struct {
+	conn *net.UDPConn
+}
+
+func newSendBatcher(conn *net.UDPConn, maxBatch int) (*sendBatcher, error) {
+	return &sendBatcher{conn: conn}, nil
+}
+
+// Send writes every buffer as one datagram, in order.
+func (b *sendBatcher) Send(bufs [][]byte) error {
+	for _, buf := range bufs {
+		if _, err := b.conn.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type recvBatcher struct {
+	conn *net.UDPConn
+	buf  []byte
+	n    int
+}
+
+func newRecvBatcher(conn *net.UDPConn, maxBatch, bufSize int) (*recvBatcher, error) {
+	return &recvBatcher{conn: conn, buf: make([]byte, bufSize)}, nil
+}
+
+// Recv blocks until one datagram arrives or the conn's read deadline
+// passes. The portable path delivers one datagram per call.
+func (b *recvBatcher) Recv() (int, error) {
+	n, _, err := b.conn.ReadFromUDP(b.buf)
+	if err != nil {
+		return 0, err
+	}
+	b.n = n
+	return 1, nil
+}
+
+// Datagram returns the i-th datagram of the last Recv.
+func (b *recvBatcher) Datagram(i int) []byte {
+	return b.buf[:b.n]
+}

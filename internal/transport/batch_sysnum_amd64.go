@@ -1,0 +1,11 @@
+//go:build linux
+
+package transport
+
+// Syscall numbers for the batched datagram path. The stdlib syscall table
+// for linux/amd64 predates sendmmsg (Linux 3.0), so both numbers are pinned
+// here; they are ABI-frozen per architecture.
+const (
+	sysSendmmsg = 307
+	sysRecvmmsg = 299
+)

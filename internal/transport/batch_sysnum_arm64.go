@@ -1,0 +1,10 @@
+//go:build linux
+
+package transport
+
+// Syscall numbers for the batched datagram path on linux/arm64 (the unified
+// asm-generic table); ABI-frozen per architecture.
+const (
+	sysSendmmsg = 269
+	sysRecvmmsg = 243
+)

@@ -24,10 +24,14 @@ const (
 	// loss metadata field into the gradient frame; version 3 carried the
 	// same field through the datagram packet header, so gradients shipped
 	// over lossy UDP keep their loss metadata (previously the datagram path
-	// silently rebuilt messages with Loss 0). A peer speaking an older
-	// version is rejected with a clean version-mismatch error instead of
-	// misparsing the frame.
-	Version = 3
+	// silently rebuilt messages with Loss 0); version 4 added the
+	// coordinate-width byte to every frame and datagram header, so a codec
+	// mismatch between endpoints surfaces as ErrWireFormat instead of a
+	// silent 100% "loss" (a float32-encoded packet used to fail the float64
+	// receiver's length check and be dropped as malformed). A peer speaking
+	// an older version is rejected with a clean version-mismatch error
+	// instead of misparsing the frame.
+	Version = 4
 
 	msgModel    = 1
 	msgGradient = 2
@@ -35,6 +39,59 @@ const (
 
 // ErrBadFrame is wrapped by decoders on malformed input.
 var ErrBadFrame = errors.New("transport: malformed frame")
+
+// ErrWireFormat is wrapped by decoders when a frame is well-formed but
+// carries a different coordinate width than the local codec — the two
+// endpoints disagree on wireFormat. It unwraps to ErrBadFrame too, so
+// lenient paths that skip malformed Byzantine datagrams keep working, while
+// callers that want the mismatch loud can match it specifically.
+var ErrWireFormat = fmt.Errorf("%w: coordinate width mismatch", ErrBadFrame)
+
+// Canonical wireFormat axis values (scenario/cluster/core configuration).
+const (
+	// WireFloat64 is the lossless 8-byte coordinate wire — the default.
+	WireFloat64 = "float64"
+	// WireFloat32 is the half-width 4-byte coordinate wire (the TensorFlow
+	// default the paper ships over its lossyMPI channel).
+	WireFloat32 = "float32"
+)
+
+// ParseWireFormat maps a wireFormat axis value to its codec. The empty
+// string selects the float64 default: lossless, and the width every backend
+// shares unless the scenario opts into compression.
+func ParseWireFormat(s string) (Codec, error) {
+	switch s {
+	case "", WireFloat64:
+		return Codec{}, nil
+	case WireFloat32:
+		return Codec{Float32: true}, nil
+	default:
+		return Codec{}, fmt.Errorf("transport: unknown wire format %q (want %q or %q)",
+			s, WireFloat64, WireFloat32)
+	}
+}
+
+// WireName returns the canonical wireFormat axis value for the codec.
+func (c Codec) WireName() string {
+	if c.Float32 {
+		return WireFloat32
+	}
+	return WireFloat64
+}
+
+// checkWidth validates a frame's coordinate-width byte against the codec:
+// widths other than 4 or 8 are malformed, a well-formed width that differs
+// from the codec's is a wire-format mismatch.
+func (c Codec) checkWidth(w byte) error {
+	if w != 4 && w != 8 {
+		return fmt.Errorf("%w: unknown coordinate width %d", ErrBadFrame, w)
+	}
+	if int(w) != c.BytesPerCoord() {
+		return fmt.Errorf("%w: frame carries %d-byte coords, codec expects %d",
+			ErrWireFormat, w, c.BytesPerCoord())
+	}
+	return nil
+}
 
 // GradientMsg is one worker's gradient submission for one step.
 type GradientMsg struct {
@@ -94,24 +151,25 @@ func (c Codec) getCoords(src []byte, v tensor.Vector) {
 }
 
 // EncodeGradient renders a gradient message as a framed byte slice:
-// magic u32 | version u8 | type u8 | worker u32 | step u64 | loss f64 |
-// dim u32 | coords.
+// magic u32 | version u8 | type u8 | width u8 | worker u32 | step u64 |
+// loss f64 | dim u32 | coords.
 func (c Codec) EncodeGradient(m *GradientMsg) []byte {
-	buf := make([]byte, 4+1+1+4+8+8+4+len(m.Grad)*c.BytesPerCoord())
+	buf := make([]byte, 4+1+1+1+4+8+8+4+len(m.Grad)*c.BytesPerCoord())
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
 	buf[5] = msgGradient
-	binary.LittleEndian.PutUint32(buf[6:], uint32(m.Worker))
-	binary.LittleEndian.PutUint64(buf[10:], uint64(m.Step))
-	binary.LittleEndian.PutUint64(buf[18:], math.Float64bits(m.Loss))
-	binary.LittleEndian.PutUint32(buf[26:], uint32(len(m.Grad)))
-	c.putCoords(buf[30:], m.Grad)
+	buf[6] = byte(c.BytesPerCoord())
+	binary.LittleEndian.PutUint32(buf[7:], uint32(m.Worker))
+	binary.LittleEndian.PutUint64(buf[11:], uint64(m.Step))
+	binary.LittleEndian.PutUint64(buf[19:], math.Float64bits(m.Loss))
+	binary.LittleEndian.PutUint32(buf[27:], uint32(len(m.Grad)))
+	c.putCoords(buf[31:], m.Grad)
 	return buf
 }
 
 // DecodeGradient parses EncodeGradient output.
 func (c Codec) DecodeGradient(buf []byte) (*GradientMsg, error) {
-	if len(buf) < 30 {
+	if len(buf) < 31 {
 		return nil, fmt.Errorf("%w: gradient frame too short (%d bytes)", ErrBadFrame, len(buf))
 	}
 	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
@@ -123,37 +181,41 @@ func (c Codec) DecodeGradient(buf []byte) (*GradientMsg, error) {
 	if buf[5] != msgGradient {
 		return nil, fmt.Errorf("%w: not a gradient frame (type %d)", ErrBadFrame, buf[5])
 	}
-	dim := int(binary.LittleEndian.Uint32(buf[26:]))
-	want := 30 + dim*c.BytesPerCoord()
+	if err := c.checkWidth(buf[6]); err != nil {
+		return nil, err
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[27:]))
+	want := 31 + dim*c.BytesPerCoord()
 	if len(buf) != want {
 		return nil, fmt.Errorf("%w: gradient frame %d bytes, want %d", ErrBadFrame, len(buf), want)
 	}
 	m := &GradientMsg{
-		Worker: int(binary.LittleEndian.Uint32(buf[6:])),
-		Step:   int(binary.LittleEndian.Uint64(buf[10:])),
-		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(buf[18:])),
+		Worker: int(binary.LittleEndian.Uint32(buf[7:])),
+		Step:   int(binary.LittleEndian.Uint64(buf[11:])),
+		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(buf[19:])),
 		Grad:   tensor.NewVector(dim),
 	}
-	c.getCoords(buf[30:], m.Grad)
+	c.getCoords(buf[31:], m.Grad)
 	return m, nil
 }
 
 // EncodeModel renders a model broadcast:
-// magic u32 | version u8 | type u8 | step u64 | dim u32 | coords.
+// magic u32 | version u8 | type u8 | width u8 | step u64 | dim u32 | coords.
 func (c Codec) EncodeModel(m *ModelMsg) []byte {
-	buf := make([]byte, 4+1+1+8+4+len(m.Params)*c.BytesPerCoord())
+	buf := make([]byte, 4+1+1+1+8+4+len(m.Params)*c.BytesPerCoord())
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
 	buf[5] = msgModel
-	binary.LittleEndian.PutUint64(buf[6:], uint64(m.Step))
-	binary.LittleEndian.PutUint32(buf[14:], uint32(len(m.Params)))
-	c.putCoords(buf[18:], m.Params)
+	buf[6] = byte(c.BytesPerCoord())
+	binary.LittleEndian.PutUint64(buf[7:], uint64(m.Step))
+	binary.LittleEndian.PutUint32(buf[15:], uint32(len(m.Params)))
+	c.putCoords(buf[19:], m.Params)
 	return buf
 }
 
 // DecodeModel parses EncodeModel output.
 func (c Codec) DecodeModel(buf []byte) (*ModelMsg, error) {
-	if len(buf) < 18 {
+	if len(buf) < 19 {
 		return nil, fmt.Errorf("%w: model frame too short (%d bytes)", ErrBadFrame, len(buf))
 	}
 	if binary.LittleEndian.Uint32(buf[0:]) != Magic {
@@ -165,15 +227,18 @@ func (c Codec) DecodeModel(buf []byte) (*ModelMsg, error) {
 	if buf[5] != msgModel {
 		return nil, fmt.Errorf("%w: not a model frame (type %d)", ErrBadFrame, buf[5])
 	}
-	dim := int(binary.LittleEndian.Uint32(buf[14:]))
-	want := 18 + dim*c.BytesPerCoord()
+	if err := c.checkWidth(buf[6]); err != nil {
+		return nil, err
+	}
+	dim := int(binary.LittleEndian.Uint32(buf[15:]))
+	want := 19 + dim*c.BytesPerCoord()
 	if len(buf) != want {
 		return nil, fmt.Errorf("%w: model frame %d bytes, want %d", ErrBadFrame, len(buf), want)
 	}
 	m := &ModelMsg{
-		Step:   int(binary.LittleEndian.Uint64(buf[6:])),
+		Step:   int(binary.LittleEndian.Uint64(buf[7:])),
 		Params: tensor.NewVector(dim),
 	}
-	c.getCoords(buf[18:], m.Params)
+	c.getCoords(buf[19:], m.Params)
 	return m, nil
 }

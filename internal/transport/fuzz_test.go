@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
@@ -9,8 +10,10 @@ import (
 )
 
 // FuzzDecodePacket feeds arbitrary bytes to the datagram decoder under both
-// wire widths: it must never panic, and whatever it accepts must re-encode to
-// the exact input bytes (decode is the inverse of encode on its image).
+// wire widths: it must never panic, whatever it accepts must re-encode to
+// the exact input bytes (decode is the inverse of encode on its image), and
+// anything accepted under one width must be rejected by the opposite-width
+// codec with ErrWireFormat — the loud mismatch the width byte exists for.
 func FuzzDecodePacket(f *testing.F) {
 	for _, c := range []Codec{{Float32: true}, {Float32: false}} {
 		msg := &GradientMsg{Worker: 3, Step: 41, Grad: tensor.Vector{1.5, -2.25, math.Pi, 0}}
@@ -42,10 +45,15 @@ func FuzzDecodePacket(f *testing.F) {
 		if !bytes.Equal(re, data) {
 			t.Fatalf("decode->encode not the identity:\n in  %x\n out %x", data, re)
 		}
+		other := Codec{Float32: !float32Wire}
+		if _, err := other.DecodePacket(data); !errors.Is(err, ErrWireFormat) {
+			t.Fatalf("opposite-width decode: want ErrWireFormat, got %v", err)
+		}
 	})
 }
 
-// FuzzDecodeGradient covers the whole-message framing the TCP path uses.
+// FuzzDecodeGradient covers the whole-message framing the TCP path uses,
+// under both wire widths, including the cross-width rejection property.
 func FuzzDecodeGradient(f *testing.F) {
 	for _, c := range []Codec{{Float32: true}, {Float32: false}} {
 		f.Add(c.EncodeGradient(&GradientMsg{Worker: 1, Step: 9, Grad: tensor.Vector{0.5, -0.5}}), c.Float32)
@@ -61,6 +69,10 @@ func FuzzDecodeGradient(f *testing.F) {
 		re := c.EncodeGradient(m)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("decode->encode not the identity:\n in  %x\n out %x", data, re)
+		}
+		other := Codec{Float32: !float32Wire}
+		if _, err := other.DecodeGradient(data); !errors.Is(err, ErrWireFormat) {
+			t.Fatalf("opposite-width decode: want ErrWireFormat, got %v", err)
 		}
 	})
 }

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"math"
 	"time"
 
 	"aggregathor/internal/tensor"
@@ -258,6 +259,15 @@ func (mc *ModelCollector) Next() (*ModelEvent, error) {
 		}
 		if pkt.Dim != mc.cfg.Dim {
 			continue // wrong dimension for the deployment: spoofed
+		}
+		if math.Float64bits(pkt.Loss) != 0 {
+			// Model broadcasts carry no loss metadata — the server always
+			// sends Loss 0 — so a nonzero loss marks a spoof. Filtering it
+			// here (bitwise, so a NaN cannot slip through) matters since the
+			// reassembler evicts-and-rebuilds on metadata conflicts: without
+			// the filter one hostile datagram with garbage Loss could evict
+			// a genuine in-flight broadcast partial.
+			continue
 		}
 		s := pkt.Step
 		if s < mc.expected {

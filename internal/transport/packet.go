@@ -27,9 +27,11 @@ type Packet struct {
 	Coords tensor.Vector
 }
 
-// packetHeaderLen is magic u32 | version u8 | worker u32 | step u64 |
-// loss f64 | dim u32 | offset u32 | count u32.
-const packetHeaderLen = 4 + 1 + 4 + 8 + 8 + 4 + 4 + 4
+// packetHeaderLen is magic u32 | version u8 | width u8 | worker u32 |
+// step u64 | loss f64 | dim u32 | offset u32 | count u32. The width byte
+// (wire v4) self-describes the coordinate encoding so endpoint codec
+// mismatches decode to ErrWireFormat instead of a silent length-check drop.
+const packetHeaderLen = 4 + 1 + 1 + 4 + 8 + 8 + 4 + 4 + 4
 
 // DefaultMTU is the conventional Ethernet payload budget for one datagram.
 const DefaultMTU = 1400
@@ -81,9 +83,19 @@ func CountSurvivors(mask []bool, pktCount int) int {
 
 // Split chunks a gradient message into MTU-sized packets.
 func (c Codec) Split(m *GradientMsg, mtu int) []Packet {
+	return c.SplitInto(nil, m, mtu)
+}
+
+// SplitInto chunks a gradient message into MTU-sized packets, appending to
+// dst (which may be a reused scratch slice with dst[:0]) so steady-state
+// senders split without allocating. The packets alias m.Grad.
+func (c Codec) SplitInto(dst []Packet, m *GradientMsg, mtu int) []Packet {
 	per := c.CoordsPerPacket(mtu)
 	dim := len(m.Grad)
-	out := make([]Packet, 0, c.PacketsPerTransfer(dim, mtu))
+	out := dst
+	if out == nil {
+		out = make([]Packet, 0, c.PacketsPerTransfer(dim, mtu))
+	}
 	for off := 0; off < dim || (dim == 0 && off == 0); off += per {
 		hi := off + per
 		if hi > dim {
@@ -104,19 +116,42 @@ func (c Codec) Split(m *GradientMsg, mtu int) []Packet {
 	return out
 }
 
-// EncodePacket renders a packet as a datagram payload.
-func (c Codec) EncodePacket(p *Packet) []byte {
-	buf := make([]byte, packetHeaderLen+len(p.Coords)*c.BytesPerCoord())
+// PacketWireLen returns the datagram payload size of p on the wire.
+func (c Codec) PacketWireLen(p *Packet) int {
+	return packetHeaderLen + len(p.Coords)*c.BytesPerCoord()
+}
+
+// AppendPacket appends the wire encoding of p to dst and returns the
+// extended slice. When dst has enough capacity the encode allocates nothing,
+// which is what lets senders reuse one arena across every packet of every
+// round (the send-path extension of the gar.Workspace zero-alloc contract).
+func (c Codec) AppendPacket(dst []byte, p *Packet) []byte {
+	n := len(dst)
+	need := c.PacketWireLen(p)
+	if cap(dst)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+need]
+	buf := dst[n:]
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	buf[4] = Version
-	binary.LittleEndian.PutUint32(buf[5:], uint32(p.Worker))
-	binary.LittleEndian.PutUint64(buf[9:], uint64(p.Step))
-	binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(p.Loss))
-	binary.LittleEndian.PutUint32(buf[25:], uint32(p.Dim))
-	binary.LittleEndian.PutUint32(buf[29:], uint32(p.Offset))
-	binary.LittleEndian.PutUint32(buf[33:], uint32(len(p.Coords)))
+	buf[5] = byte(c.BytesPerCoord())
+	binary.LittleEndian.PutUint32(buf[6:], uint32(p.Worker))
+	binary.LittleEndian.PutUint64(buf[10:], uint64(p.Step))
+	binary.LittleEndian.PutUint64(buf[18:], math.Float64bits(p.Loss))
+	binary.LittleEndian.PutUint32(buf[26:], uint32(p.Dim))
+	binary.LittleEndian.PutUint32(buf[30:], uint32(p.Offset))
+	binary.LittleEndian.PutUint32(buf[34:], uint32(len(p.Coords)))
 	c.putCoords(buf[packetHeaderLen:], p.Coords)
-	return buf
+	return dst
+}
+
+// EncodePacket renders a packet as a freshly allocated datagram payload.
+// Steady-state senders should prefer AppendPacket with a reused arena.
+func (c Codec) EncodePacket(p *Packet) []byte {
+	return c.AppendPacket(make([]byte, 0, c.PacketWireLen(p)), p)
 }
 
 // DecodePacket parses EncodePacket output.
@@ -130,17 +165,20 @@ func (c Codec) DecodePacket(buf []byte) (*Packet, error) {
 	if buf[4] != Version {
 		return nil, fmt.Errorf("%w: unsupported packet version %d", ErrBadFrame, buf[4])
 	}
-	count := int(binary.LittleEndian.Uint32(buf[33:]))
+	if err := c.checkWidth(buf[5]); err != nil {
+		return nil, err
+	}
+	count := int(binary.LittleEndian.Uint32(buf[34:]))
 	want := packetHeaderLen + count*c.BytesPerCoord()
 	if len(buf) != want {
 		return nil, fmt.Errorf("%w: packet %d bytes, want %d", ErrBadFrame, len(buf), want)
 	}
 	p := &Packet{
-		Worker: int(binary.LittleEndian.Uint32(buf[5:])),
-		Step:   int(binary.LittleEndian.Uint64(buf[9:])),
-		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(buf[17:])),
-		Dim:    int(binary.LittleEndian.Uint32(buf[25:])),
-		Offset: int(binary.LittleEndian.Uint32(buf[29:])),
+		Worker: int(binary.LittleEndian.Uint32(buf[6:])),
+		Step:   int(binary.LittleEndian.Uint64(buf[10:])),
+		Loss:   math.Float64frombits(binary.LittleEndian.Uint64(buf[18:])),
+		Dim:    int(binary.LittleEndian.Uint32(buf[26:])),
+		Offset: int(binary.LittleEndian.Uint32(buf[30:])),
 		Coords: tensor.NewVector(count),
 	}
 	if p.Offset < 0 || p.Offset+count > p.Dim {
@@ -194,6 +232,12 @@ type Reassembler struct {
 	policy RecoupPolicy
 	rng    *rand.Rand
 	maxDim int
+	// expectDim, when set, pins the exact gradient dimension the endpoint
+	// accepts — packets claiming any other Dim are rejected outright.
+	expectDim int
+	// evictions counts pending partials rebuilt because a later packet's
+	// metadata conflicted with the pinned first packet (see Offer).
+	evictions int
 	// pending maps (worker, step) to partial gradients.
 	pending map[[2]int]*partial
 }
@@ -224,26 +268,58 @@ func (r *Reassembler) SetMaxDim(d int) {
 	}
 }
 
+// SetExpectDim pins the exact gradient dimension of the deployment: packets
+// claiming any other Dim are rejected before they touch reassembly state,
+// and the allocation bound tightens to match. Endpoints that know their
+// model dimension (the cluster server and workers do) should always pin it —
+// it closes the whole Dim axis of header spoofing. d <= 0 clears the pin.
+func (r *Reassembler) SetExpectDim(d int) {
+	r.expectDim = d
+	if d > 0 {
+		r.maxDim = d
+	}
+}
+
+// Evictions reports how many pending partials were evicted and rebuilt
+// because of conflicting packet metadata — nonzero means a peer sent
+// self-inconsistent packets for the same (worker, step), i.e. somebody is
+// spoofing.
+func (r *Reassembler) Evictions() int { return r.evictions }
+
 // Offer feeds one packet. When the packet completes its gradient, the
 // finished message is returned with done=true and the state released.
 //
-// Packets whose metadata conflicts with the partial already pending for the
-// same (worker, step) key are rejected as malformed, exactly like a packet
-// DecodePacket would refuse: a Byzantine worker is free to send two
-// self-consistent packets with different Dim values, and before this check
-// the second one indexed the first one's arrival mask out of range — a
-// remote crash from a single hostile datagram. The same rule covers the
-// repeated Loss metadata (compared bitwise so NaN losses stay consistent),
+// Validation happens in two tiers. Packets that are malformed in isolation —
 // claimed dimensions beyond the allocation bound (see DefaultMaxDim — a
-// spoofed huge Dim must not OOM the process) and, defensively, the
-// coordinate range of hand-built packets that never went through
-// DecodePacket.
+// spoofed huge Dim must not OOM the process), a Dim other than the pinned
+// SetExpectDim, or a coordinate range that would index the arrival mask out
+// of bounds — are rejected outright, exactly like DecodePacket refuses a
+// malformed datagram.
+//
+// Packets that are self-consistent but conflict with the metadata pinned by
+// the partial's first packet (Dim, or the repeated Loss compared bitwise so
+// NaN losses stay consistent) EVICT the pending partial, and reassembly
+// restarts from the conflicting packet. Rejecting the newcomer instead —
+// the previous behaviour — let one spoofed datagram racing ahead of an
+// honest worker's burst pin garbage metadata under the honest (worker,
+// step) key, so every genuine packet was "a conflict" and the honest
+// gradient was recouped as lost: a one-datagram censorship of an honest
+// worker, violating the f-Byzantine budget. With eviction the spoof costs
+// at most the coordinates already banked (the deadline recoup covers them);
+// it can no longer wedge the key for the round.
 func (r *Reassembler) Offer(p *Packet) (msg *GradientMsg, done bool) {
 	if p.Dim < 0 || p.Dim > r.maxDim || p.Offset < 0 || p.Offset+len(p.Coords) > p.Dim {
 		return nil, false // malformed range: never index or allocate with it
 	}
+	if r.expectDim > 0 && p.Dim != r.expectDim {
+		return nil, false // deployment dimension is pinned: anything else is spoofed
+	}
 	key := [2]int{p.Worker, p.Step}
 	part, ok := r.pending[key]
+	if ok && (p.Dim != len(part.received) || math.Float64bits(p.Loss) != math.Float64bits(part.loss)) {
+		ok = false // conflicting metadata: evict and rebuild from this packet
+		r.evictions++
+	}
 	if !ok {
 		part = &partial{
 			grad:     tensor.NewVector(p.Dim),
@@ -252,9 +328,6 @@ func (r *Reassembler) Offer(p *Packet) (msg *GradientMsg, done bool) {
 			loss:     p.Loss,
 		}
 		r.pending[key] = part
-	}
-	if p.Dim != len(part.received) || math.Float64bits(p.Loss) != math.Float64bits(part.loss) {
-		return nil, false // metadata conflicts with the first packet: malformed
 	}
 	for i, x := range p.Coords {
 		idx := p.Offset + i

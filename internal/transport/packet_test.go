@@ -84,14 +84,15 @@ func TestReassemblerDuplicatePacketsHarmless(t *testing.T) {
 	}
 }
 
-// TestReassemblerRejectsConflictingDim is the regression test for the
+// TestReassemblerConflictingDimNoCrash is the regression test for the
 // remote-crash bug: a Byzantine worker sending two individually
 // self-consistent packets for the same (worker, step) key but with
 // conflicting Dim values used to index the first packet's arrival mask out
-// of range — one hostile datagram panicked the server. Both orderings
-// (small-then-large and large-then-small) must now be rejected as malformed,
-// and the honest packets must still complete the gradient afterwards.
-func TestReassemblerRejectsConflictingDim(t *testing.T) {
+// of range — one hostile datagram panicked the server. Conflicting packets
+// now evict and rebuild the partial (see the spoof-censorship tests for
+// why) — the property under test here is that neither ordering can crash or
+// corrupt, and that the honest stream still completes once re-offered.
+func TestReassemblerConflictingDimNoCrash(t *testing.T) {
 	rng := rand.New(rand.NewSource(20))
 	c := Codec{}
 	m := &GradientMsg{Worker: 3, Step: 7, Grad: randVec(rng, 100)}
@@ -104,26 +105,51 @@ func TestReassemblerRejectsConflictingDim(t *testing.T) {
 		t.Fatal("premature completion")
 	}
 	// Self-consistent hostile packet: same key, larger Dim, range far
-	// outside the pending partial's mask.
+	// outside the honest partial's mask. Before the conflict check this
+	// indexed out of range; now it evicts and rebuilds — either way it must
+	// not complete a gradient or crash.
 	hostile := &Packet{Worker: 3, Step: 7, Dim: 1000, Offset: 900, Coords: randVec(rng, 50)}
 	if _, done := asm.Offer(hostile); done {
 		t.Fatal("hostile packet completed a gradient")
 	}
-	// Opposite ordering on a fresh key: large first, then a smaller Dim.
-	smaller := &Packet{Worker: 5, Step: 7, Dim: 10, Offset: 0, Coords: randVec(rng, 10)}
+	// Opposite ordering on a fresh key: large partial pending, then a
+	// smaller conflicting Dim arrives. The newcomer evicts the pending
+	// partial and stands alone — it happens to be complete, which is fine:
+	// it delivers its own (self-consistent) gradient, not a hybrid of the
+	// two, and crucially nothing indexes out of range.
 	big := &Packet{Worker: 5, Step: 7, Dim: 1000, Offset: 0, Coords: randVec(rng, 50)}
+	smaller := &Packet{Worker: 5, Step: 7, Dim: 10, Offset: 0, Coords: randVec(rng, 10)}
 	if _, done := asm.Offer(big); done {
 		t.Fatal("premature completion")
 	}
-	if _, done := asm.Offer(smaller); done {
-		t.Fatal("conflicting-dim packet completed a gradient")
+	if msg, done := asm.Offer(smaller); done {
+		if len(msg.Grad) != 10 {
+			t.Fatalf("evict-rebuild delivered a hybrid gradient of dim %d", len(msg.Grad))
+		}
+		for i := range msg.Grad {
+			if msg.Grad[i] != smaller.Coords[i] {
+				t.Fatalf("coord %d of rebuilt gradient corrupted", i)
+			}
+		}
+	} else {
+		t.Fatal("complete rebuilt gradient was not delivered")
 	}
-	// The honest stream is unaffected by the rejected datagrams.
+	if asm.Evictions() == 0 {
+		t.Fatal("conflicting packets did not count as evictions")
+	}
+	// The honest stream completes once every honest packet is offered after
+	// the hostile ones (the eviction cost packets[0]; re-offer it).
 	var got *GradientMsg
 	for i := 1; i < len(packets); i++ {
 		if msg, done := asm.Offer(&packets[i]); done {
 			got = msg
 		}
+	}
+	if got != nil {
+		t.Fatal("completed while packets[0]'s range was still missing post-eviction")
+	}
+	if msg, done := asm.Offer(&packets[0]); done {
+		got = msg
 	}
 	if got == nil {
 		t.Fatal("honest gradient never completed after hostile packets")
@@ -132,6 +158,83 @@ func TestReassemblerRejectsConflictingDim(t *testing.T) {
 		if got.Grad[i] != m.Grad[i] {
 			t.Fatalf("coord %d corrupted by hostile packets", i)
 		}
+	}
+}
+
+// TestReassemblerSpoofCannotCensorHonestWorker is the failing-first
+// regression test for the spoof-censorship bug: a Byzantine peer spoofing
+// ONE datagram under an honest worker's (worker, step) key — with garbage
+// Loss metadata, ahead of the honest burst — used to pin the partial's
+// metadata, so every genuine packet was rejected as a "metadata conflict"
+// and the honest gradient was recouped as lost. One datagram censored an
+// honest worker for the round, violating the f-Byzantine budget. With
+// evict-and-rebuild the first honest packet evicts the spoof and the honest
+// gradient completes untouched.
+func TestReassemblerSpoofCannotCensorHonestWorker(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := Codec{}
+	m := &GradientMsg{Worker: 2, Step: 4, Loss: 0.5, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 256)
+	asm := NewReassembler(DropGradient, nil)
+	// The spoof races ahead of the honest burst: same key and Dim, garbage
+	// Loss, attacker-chosen coords.
+	spoof := &Packet{Worker: 2, Step: 4, Loss: 999.25, Dim: 100, Offset: 0,
+		Coords: randVec(rng, 10)}
+	if _, done := asm.Offer(spoof); done {
+		t.Fatal("spoof completed a gradient")
+	}
+	var got *GradientMsg
+	for i := range packets {
+		if msg, done := asm.Offer(&packets[i]); done {
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("spoofed datagram censored the honest gradient")
+	}
+	if got.Loss != m.Loss {
+		t.Fatalf("delivered loss %v, want the honest %v", got.Loss, m.Loss)
+	}
+	for i := range m.Grad {
+		if got.Grad[i] != m.Grad[i] {
+			t.Fatalf("coord %d corrupted by the spoof", i)
+		}
+	}
+	if asm.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", asm.Evictions())
+	}
+}
+
+// TestReassemblerSetExpectDim: pinning the deployment's exact dimension
+// rejects every packet claiming any other Dim before it can touch (or
+// evict) reassembly state, closing the Dim axis of header spoofing
+// entirely.
+func TestReassemblerSetExpectDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := Codec{}
+	m := &GradientMsg{Worker: 1, Step: 3, Grad: randVec(rng, 100)}
+	packets := c.Split(m, 256)
+	asm := NewReassembler(DropGradient, nil)
+	asm.SetExpectDim(100)
+	if _, done := asm.Offer(&packets[0]); done {
+		t.Fatal("premature completion")
+	}
+	// Wrong-dim spoof: with the pin it cannot evict the honest partial.
+	spoof := &Packet{Worker: 1, Step: 3, Dim: 50, Offset: 0, Coords: randVec(rng, 10)}
+	if _, done := asm.Offer(spoof); done {
+		t.Fatal("wrong-dim spoof completed a gradient")
+	}
+	if asm.Evictions() != 0 {
+		t.Fatalf("wrong-dim spoof evicted the pinned-dim partial (evictions=%d)", asm.Evictions())
+	}
+	var got *GradientMsg
+	for i := 1; i < len(packets); i++ {
+		if msg, done := asm.Offer(&packets[i]); done {
+			got = msg
+		}
+	}
+	if got == nil {
+		t.Fatal("honest gradient never completed under SetExpectDim")
 	}
 }
 

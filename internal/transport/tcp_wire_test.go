@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"aggregathor/internal/tensor"
+)
+
+// TestTCPMixedWidthPeersRejectLoudly pins the wire-format negotiation
+// contract on the reliable path: a dialer and listener configured with
+// different coordinate widths must fail loudly with ErrWireFormat on the
+// first frame — never silently mis-decode, and never report a generic
+// framing error that hides the configuration mismatch. Both directions of
+// the mismatch are covered, for both gradient and model frames.
+func TestTCPMixedWidthPeersRejectLoudly(t *testing.T) {
+	cases := []struct {
+		name     string
+		listener Codec
+		dialer   Codec
+	}{
+		{"f64-listener_f32-dialer", Codec{}, Codec{Float32: true}},
+		{"f32-listener_f64-dialer", Codec{Float32: true}, Codec{}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := ListenTCP("127.0.0.1:0", tc.listener)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+
+			sendErr := make(chan error, 1)
+			go func() {
+				peer, err := DialTCP(ln.Addr(), tc.dialer)
+				if err != nil {
+					sendErr <- err
+					return
+				}
+				defer peer.Close()
+				if err := peer.SendGradient(&GradientMsg{Worker: 2, Step: 5, Grad: tensor.Vector{1, 2, 3}}); err != nil {
+					sendErr <- err
+					return
+				}
+				sendErr <- peer.SendModel(&ModelMsg{Step: 5, Params: tensor.Vector{4, 5}})
+			}()
+
+			conn, err := ln.Accept()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+
+			_, gradErr := conn.RecvGradient()
+			if !errors.Is(gradErr, ErrWireFormat) {
+				t.Fatalf("gradient from mixed-width peer: want ErrWireFormat, got %v", gradErr)
+			}
+			// ErrWireFormat unwraps to ErrBadFrame so existing malformed-input
+			// handling catches it too.
+			if !errors.Is(gradErr, ErrBadFrame) {
+				t.Fatalf("ErrWireFormat must unwrap to ErrBadFrame, got %v", gradErr)
+			}
+			if _, err := conn.RecvModel(); !errors.Is(err, ErrWireFormat) {
+				t.Fatalf("model from mixed-width peer: want ErrWireFormat, got %v", err)
+			}
+			if err := <-sendErr; err != nil {
+				t.Fatalf("mixed-width send side failed before decode: %v", err)
+			}
+		})
+	}
+}

@@ -14,15 +14,42 @@ import (
 // passes with nothing deliverable under the recoup policy.
 var ErrTimeout = errors.New("transport: udp receive timeout")
 
+// Datagram batch sizing. One sendmmsg/recvmmsg moves up to udpBatch
+// datagrams; the receive arena reserves a full 64 KiB slot per datagram
+// because the sender's MTU is not negotiated (a UDP payload can be up to
+// 65507 bytes and recvmmsg truncates anything beyond the slot).
+const (
+	udpBatch       = 16
+	udpRecvBufSize = 65536
+)
+
 // UDPSender pushes gradients as datagrams — the lossyMPI send endpoint. An
 // optional artificial DropRate reproduces the paper's tc-based loss
 // injection (loopback links do not drop on their own).
+//
+// The sender owns a reusable encode arena: packets are encoded in place and
+// flushed in sendmmsg batches, so the steady-state send path performs zero
+// allocations per packet and ~1/udpBatch syscalls per datagram.
 type UDPSender struct {
-	conn     *net.UDPConn
-	codec    Codec
-	mtu      int
+	conn    *net.UDPConn
+	codec   Codec
+	mtu     int
+	batcher *sendBatcher
+	batchOn bool
+
 	dropRate float64
 	rng      *rand.Rand
+	dropBuf  []bool
+	// pktScratch is reused across SendGradient calls so steady-state splits
+	// do not allocate.
+	pktScratch []Packet
+
+	// Encode arena for the current batch: frames are subslices of arena, so
+	// the arena is sized for a full batch up front and only an oversized
+	// hand-built packet can force a flush-then-grow.
+	arena        []byte
+	frames       [][]byte
+	pendingBytes int
 
 	// Pacing state: a datagram burst larger than the receiver's kernel
 	// buffer is silently truncated by the kernel (the "loss-free" channel
@@ -55,14 +82,37 @@ func DialUDP(addr string, codec Codec, mtu int, dropRate float64, seed int64) (*
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial udp %s: %w", addr, err)
 	}
+	batcher, err := newSendBatcher(conn, udpBatch)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	return &UDPSender{
 		conn:     conn,
 		codec:    codec,
 		mtu:      mtu,
+		batcher:  batcher,
+		batchOn:  true,
 		dropRate: dropRate,
 		rng:      rand.New(rand.NewSource(seed)),
+		arena:    make([]byte, 0, udpBatch*mtu),
+		frames:   make([][]byte, 0, udpBatch),
 	}, nil
 }
+
+// LocalAddr returns the sender's bound local address (the dial interface —
+// the cluster derives the worker model-endpoint bind host from it).
+func (s *UDPSender) LocalAddr() string { return s.conn.LocalAddr().String() }
+
+// SetBatching toggles sendmmsg batching (default on). With batching off
+// every datagram is its own write syscall — the pre-v4 behaviour, kept as a
+// benchmark ablation baseline. Packet content and order are identical
+// either way.
+func (s *UDPSender) SetBatching(on bool) { s.batchOn = on }
+
+// Batched reports whether this sender batches datagram syscalls (false on
+// platforms without sendmmsg or after SetBatching(false)).
+func (s *UDPSender) Batched() bool { return s.batchOn && batchedSyscalls }
 
 // ModelWorkerID tags datagrams carrying a model broadcast instead of a
 // worker gradient (footnote 12: "our setup can be easily extended to support
@@ -78,15 +128,18 @@ func (s *UDPSender) SendModel(m *ModelMsg) error {
 
 // SendGradient splits the gradient into datagrams and writes the survivors.
 func (s *UDPSender) SendGradient(m *GradientMsg) error {
-	for _, p := range s.codec.Split(m, s.mtu) {
-		if s.dropRate > 0 && s.rng.Float64() < s.dropRate {
-			continue // the tc stand-in: this datagram "was lost"
-		}
-		if err := s.SendPacket(&p); err != nil {
-			return err
-		}
+	pkts := s.codec.SplitInto(s.pktScratch[:0], m, s.mtu)
+	s.pktScratch = pkts
+	if cap(s.dropBuf) < len(pkts) {
+		s.dropBuf = make([]bool, len(pkts))
 	}
-	return nil
+	drop := s.dropBuf[:len(pkts)]
+	for i := range pkts {
+		// Drawn per packet in split order: the rng stream (and therefore
+		// every deterministic trajectory) matches the pre-batching sender.
+		drop[i] = s.dropRate > 0 && s.rng.Float64() < s.dropRate
+	}
+	return s.SendPackets(pkts, drop)
 }
 
 // SetPacing rate-limits the sender: after every burstBytes of datagram
@@ -103,22 +156,83 @@ func (s *UDPSender) SetPacing(burstBytes int, delay time.Duration) {
 	s.burstAcc = 0
 }
 
-// SendPacket writes one already-split packet, bypassing the sender's own
-// drop injection. Callers that key loss on external state — the UDP cluster
-// backend drops per a (seed, step, worker)-derived schedule so both
-// endpoints can evaluate it — split with Codec.Split and push the surviving
-// packets through here.
+// SendPackets writes the given packets as datagrams, skipping index i when
+// dropped[i] is true (dropped may be nil or shorter than pkts; missing
+// entries mean "send"). Callers that key loss on external state — the UDP
+// cluster backend drops per a (seed, step, worker)-derived schedule so both
+// endpoints can evaluate it — split with Codec.SplitInto and pass the
+// schedule mask here. The whole path reuses the sender's arena: zero
+// allocations per packet at steady state.
+func (s *UDPSender) SendPackets(pkts []Packet, dropped []bool) error {
+	for i := range pkts {
+		if i < len(dropped) && dropped[i] {
+			continue // the tc stand-in: this datagram "was lost"
+		}
+		if err := s.enqueue(&pkts[i]); err != nil {
+			return err
+		}
+	}
+	return s.flush()
+}
+
+// SendPacket writes one already-split packet immediately, bypassing the
+// sender's own drop injection.
 func (s *UDPSender) SendPacket(p *Packet) error {
-	buf := s.codec.EncodePacket(p)
-	if _, err := s.conn.Write(buf); err != nil {
+	if err := s.enqueue(p); err != nil {
+		return err
+	}
+	return s.flush()
+}
+
+// enqueue encodes p into the arena and flushes when the batch is full or
+// the pacing burst boundary is reached.
+func (s *UDPSender) enqueue(p *Packet) error {
+	need := s.codec.PacketWireLen(p)
+	if len(s.frames) > 0 && cap(s.arena)-len(s.arena) < need {
+		// Growing the arena would reallocate it and dangle the frames
+		// already queued (only possible for oversized hand-built packets —
+		// split packets fit the MTU budget the arena was sized for).
+		if err := s.flush(); err != nil {
+			return err
+		}
+	}
+	start := len(s.arena)
+	s.arena = s.codec.AppendPacket(s.arena, p)
+	s.frames = append(s.frames, s.arena[start:])
+	s.pendingBytes += len(s.arena) - start
+	if len(s.frames) == udpBatch ||
+		(s.paceBurst > 0 && s.burstAcc+s.pendingBytes >= s.paceBurst) {
+		return s.flush()
+	}
+	return nil
+}
+
+// flush writes the queued batch and applies pacing.
+func (s *UDPSender) flush() error {
+	if len(s.frames) == 0 {
+		return nil
+	}
+	var err error
+	if s.batchOn {
+		err = s.batcher.Send(s.frames)
+	} else {
+		for _, buf := range s.frames {
+			if _, werr := s.conn.Write(buf); werr != nil {
+				err = werr
+				break
+			}
+		}
+	}
+	s.frames = s.frames[:0]
+	s.arena = s.arena[:0]
+	s.burstAcc += s.pendingBytes
+	s.pendingBytes = 0
+	if err != nil {
 		return fmt.Errorf("transport: udp write: %w", err)
 	}
-	if s.paceBurst > 0 {
-		s.burstAcc += len(buf)
-		if s.burstAcc >= s.paceBurst {
-			s.burstAcc = 0
-			time.Sleep(s.paceDelay)
-		}
+	if s.paceBurst > 0 && s.burstAcc >= s.paceBurst {
+		s.burstAcc = 0
+		time.Sleep(s.paceDelay)
 	}
 	return nil
 }
@@ -127,12 +241,18 @@ func (s *UDPSender) SendPacket(p *Packet) error {
 func (s *UDPSender) Close() error { return s.conn.Close() }
 
 // UDPReceiver assembles datagrams back into gradients with a recoup policy —
-// the lossyMPI receive endpoint.
+// the lossyMPI receive endpoint. Datagrams are drained from the kernel in
+// recvmmsg batches and handed out one at a time.
 type UDPReceiver struct {
-	conn  *net.UDPConn
-	codec Codec
-	asm   *Reassembler
-	buf   []byte
+	conn    *net.UDPConn
+	codec   Codec
+	asm     *Reassembler
+	batcher *recvBatcher
+	batched int // datagrams in the current batch
+	next    int // next undelivered datagram in the batch
+
+	wireMismatches int
+	strictWire     bool
 }
 
 // ListenUDP binds a receive endpoint on addr ("127.0.0.1:0" for tests).
@@ -150,11 +270,16 @@ func ListenUDP(addr string, codec Codec, policy RecoupPolicy, seed int64) (*UDPR
 	// large transfers additionally rely on sender pacing — see
 	// UDPSender.SetPacing.
 	_ = conn.SetReadBuffer(8 << 20)
+	batcher, err := newRecvBatcher(conn, udpBatch, udpRecvBufSize)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
 	return &UDPReceiver{
-		conn:  conn,
-		codec: codec,
-		asm:   NewReassembler(policy, rand.New(rand.NewSource(seed))),
-		buf:   make([]byte, 65536),
+		conn:    conn,
+		codec:   codec,
+		asm:     NewReassembler(policy, rand.New(rand.NewSource(seed))),
+		batcher: batcher,
 	}, nil
 }
 
@@ -167,26 +292,75 @@ func (r *UDPReceiver) Addr() string { return r.conn.LocalAddr().String() }
 // Tests force it small to reproduce kernel drops deterministically.
 func (r *UDPReceiver) SetReadBuffer(bytes int) error { return r.conn.SetReadBuffer(bytes) }
 
+// SetStrictWireFormat makes wire-format mismatches (a peer encoding
+// coordinates at the other width — ErrWireFormat) fatal to the receive call
+// instead of skip-and-count. The default is lenient: datagrams are
+// unauthenticated, so a single Byzantine datagram forged with the wrong
+// width byte must not be able to abort an honest round; mismatches are
+// tallied in WireMismatches either way, so a misconfigured deployment is
+// still loud.
+func (r *UDPReceiver) SetStrictWireFormat(on bool) { r.strictWire = on }
+
+// WireMismatches reports how many datagrams decoded as well-formed frames
+// of the WRONG coordinate width — every endpoint of a correctly configured
+// deployment shares one wireFormat, so a nonzero count means a peer (or a
+// spoofer) speaks the other codec.
+func (r *UDPReceiver) WireMismatches() int { return r.wireMismatches }
+
+// readDatagram returns the next datagram, draining the kernel in recvmmsg
+// batches. The returned slice is valid until the next call.
+func (r *UDPReceiver) readDatagram(deadline time.Time) ([]byte, error) {
+	if r.next >= r.batched {
+		if err := r.conn.SetReadDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+		n, err := r.batcher.Recv()
+		if err != nil {
+			return nil, err
+		}
+		r.batched, r.next = n, 0
+	}
+	buf := r.batcher.Datagram(r.next)
+	r.next++
+	return buf, nil
+}
+
+// decode parses one datagram, tracking wire-format mismatches. skip=true
+// means the datagram was invalid and the caller should read the next one.
+func (r *UDPReceiver) decode(buf []byte) (pkt *Packet, skip bool, err error) {
+	pkt, derr := r.codec.DecodePacket(buf)
+	if derr == nil {
+		return pkt, false, nil
+	}
+	if errors.Is(derr, ErrWireFormat) {
+		r.wireMismatches++
+		if r.strictWire {
+			return nil, false, derr
+		}
+	}
+	// Malformed datagrams (a Byzantine worker can send anything) are
+	// dropped, not fatal.
+	return nil, true, nil
+}
+
 // RecvGradient blocks until one gradient completes or the timeout passes.
 // On timeout, pending partial gradients are recouped per the policy; if the
 // policy is DropGradient (or nothing was pending) ErrTimeout is returned.
 func (r *UDPReceiver) RecvGradient(timeout time.Duration) (*GradientMsg, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		if err := r.conn.SetReadDeadline(deadline); err != nil {
-			return nil, fmt.Errorf("transport: set deadline: %w", err)
-		}
-		n, _, err := r.conn.ReadFromUDP(r.buf)
+		buf, err := r.readDatagram(deadline)
 		if err != nil {
 			if isTimeout(err) {
 				return r.flushAny()
 			}
 			return nil, fmt.Errorf("transport: udp read: %w", err)
 		}
-		pkt, err := r.codec.DecodePacket(r.buf[:n])
+		pkt, skip, err := r.decode(buf)
 		if err != nil {
-			// Malformed datagrams (a Byzantine worker can send
-			// anything) are dropped, not fatal.
+			return nil, err
+		}
+		if skip {
 			continue
 		}
 		if msg, done := r.asm.Offer(pkt); done {
@@ -232,18 +406,18 @@ func (r *UDPReceiver) flushAny() (*GradientMsg, error) {
 func (r *UDPReceiver) RecvPacket(timeout time.Duration) (*Packet, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		if err := r.conn.SetReadDeadline(deadline); err != nil {
-			return nil, fmt.Errorf("transport: set deadline: %w", err)
-		}
-		n, _, err := r.conn.ReadFromUDP(r.buf)
+		buf, err := r.readDatagram(deadline)
 		if err != nil {
 			if isTimeout(err) {
 				return nil, ErrTimeout
 			}
 			return nil, fmt.Errorf("transport: udp read: %w", err)
 		}
-		pkt, err := r.codec.DecodePacket(r.buf[:n])
+		pkt, skip, err := r.decode(buf)
 		if err != nil {
+			return nil, err
+		}
+		if skip {
 			continue
 		}
 		return pkt, nil
