@@ -4,10 +4,11 @@ TCP_SMOKE_OUT ?= /tmp/aggregathor-scenario-tcp-smoke.json
 UDP_SMOKE_OUT ?= /tmp/aggregathor-scenario-udp-smoke.json
 MODEL_LOSS_SMOKE_OUT ?= /tmp/aggregathor-scenario-model-loss-smoke.json
 WIRE_SMOKE_OUT ?= /tmp/aggregathor-scenario-wire-smoke.json
+ASYNC_SMOKE_OUT ?= /tmp/aggregathor-scenario-async-smoke.json
 
 BENCH_JSON_DIR ?= .
 
-.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire bench-json ci clean
+.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async bench-json ci clean
 
 all: ci
 
@@ -29,6 +30,7 @@ fuzz:
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodePacket -fuzztime=20s
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodeGradient -fuzztime=20s
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzReassembler -fuzztime=20s
+	$(GO) test ./internal/ps/ -run=NONE -fuzz=FuzzQuorumAdmission -fuzztime=20s
 
 # Run the built-in scenario campaign (4 GARs x 3 attacks + baseline x 2
 # network conditions) and write the deterministic results JSON.
@@ -60,15 +62,25 @@ smoke-wire:
 	$(GO) run ./cmd/scenario -builtin wire-smoke -out $(WIRE_SMOKE_OUT).rerun
 	cmp $(WIRE_SMOKE_OUT) $(WIRE_SMOKE_OUT).rerun
 
+# Run the built-in asynchronous-round campaign (quorum + bounded staleness
+# under a deterministic slow-worker schedule, on all three backends) twice and
+# require byte-identical JSON: the quorum settlement must be as deterministic
+# as lockstep.
+smoke-async:
+	$(GO) run ./cmd/scenario -builtin async-smoke -out $(ASYNC_SMOKE_OUT)
+	$(GO) run ./cmd/scenario -builtin async-smoke -out $(ASYNC_SMOKE_OUT).rerun
+	cmp $(ASYNC_SMOKE_OUT) $(ASYNC_SMOKE_OUT).rerun
+
 # Time the GAR kernel engine (fresh + workspace aggregation, distance
 # schedules) and write BENCH_aggregation.json — the perf trajectory to diff
 # across commits on the same machine.
 bench-json:
 	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
-ci: vet build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire
+ci: vet build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async
 
 clean:
 	$(GO) clean ./...
 	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT) $(MODEL_LOSS_SMOKE_OUT) \
-		$(WIRE_SMOKE_OUT) $(WIRE_SMOKE_OUT).rerun
+		$(WIRE_SMOKE_OUT) $(WIRE_SMOKE_OUT).rerun \
+		$(ASYNC_SMOKE_OUT) $(ASYNC_SMOKE_OUT).rerun

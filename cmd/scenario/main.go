@@ -31,7 +31,7 @@ import (
 func main() {
 	var (
 		specPath = flag.String("spec", "", "campaign spec JSON file (empty = a built-in campaign, see -builtin)")
-		builtin  = flag.String("builtin", "smoke", "built-in campaign used when -spec is empty: smoke | tcp-smoke | udp-smoke | wire-smoke | model-loss-smoke")
+		builtin  = flag.String("builtin", "smoke", "built-in campaign used when -spec is empty: smoke | tcp-smoke | udp-smoke | wire-smoke | model-loss-smoke | async-smoke")
 		outPath  = flag.String("out", "", "write campaign results JSON to this file (empty = no JSON output)")
 		summary  = flag.Bool("summary", true, "print the per-attack GAR ranking summary")
 		parallel = flag.Int("parallel", 0, "override the spec's worker-pool size (0 = spec/NumCPU)")
@@ -48,7 +48,7 @@ func main() {
 			exps = append(exps, e.Name)
 		}
 		fmt.Printf("experiments: %s\n", strings.Join(exps, ", "))
-		fmt.Printf("networks:    backend in-process|tcp|udp, udpLinks (-1 = all), dropRate [0,1), recoup drop-gradient|fill-nan|fill-random, modelDropRate [0,1), modelRecoup skip|stale, wireFormat float64|float32, protocol tcp|udp, rttMicros\n")
+		fmt.Printf("networks:    backend in-process|tcp|udp, udpLinks (-1 = all), dropRate [0,1), recoup drop-gradient|fill-nan|fill-random, modelDropRate [0,1), modelRecoup skip|stale, wireFormat float64|float32, quorum, staleness, slowWorkers [0,1), protocol tcp|udp, rttMicros\n")
 		return
 	}
 
@@ -109,8 +109,11 @@ func resolveSpec(path, builtin string) (*scenario.Spec, error) {
 	case "model-loss-smoke":
 		s := scenario.ModelLossSmokeSpec()
 		return &s, nil
+	case "async-smoke":
+		s := scenario.AsyncSmokeSpec()
+		return &s, nil
 	default:
-		return nil, fmt.Errorf("unknown built-in campaign %q (want smoke|tcp-smoke|udp-smoke|wire-smoke|model-loss-smoke)", builtin)
+		return nil, fmt.Errorf("unknown built-in campaign %q (want smoke|tcp-smoke|udp-smoke|wire-smoke|model-loss-smoke|async-smoke)", builtin)
 	}
 }
 

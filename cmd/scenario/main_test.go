@@ -75,6 +75,29 @@ func TestResolveSpecBuiltins(t *testing.T) {
 	if modelLossy == 0 || stale == 0 {
 		t.Fatalf("model-loss-smoke has %d lossy-model cells (%d stale), want both > 0", modelLossy, stale)
 	}
+	s, err = resolveSpec("", "async-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "async-smoke" {
+		t.Fatalf("builtin async-smoke resolved to %q", s.Name)
+	}
+	quorumCells, slowCells, lossyAsync := 0, 0, 0
+	for _, n := range s.Networks {
+		if n.Quorum > 0 {
+			quorumCells++
+			if n.DropRate > 0 {
+				lossyAsync++
+			}
+		}
+		if n.SlowWorkers > 0 {
+			slowCells++
+		}
+	}
+	if quorumCells == 0 || slowCells == 0 || lossyAsync == 0 {
+		t.Fatalf("async-smoke has %d quorum cells, %d slow-scheduled cells, %d lossy async cells; want all > 0",
+			quorumCells, slowCells, lossyAsync)
+	}
 	if _, err := resolveSpec("", "no-such-campaign"); err == nil {
 		t.Fatal("unknown builtin accepted")
 	}

@@ -67,6 +67,11 @@ type TCPClusterConfig struct {
 	// it), FillRandom substitutes a seed-derived random vector. All three
 	// are deterministic functions of (seed, step, worker id).
 	Recoup transport.RecoupPolicy
+	// Async configures asynchronous bounded-staleness rounds. The slow
+	// schedule is evaluated at both endpoints (ps.SlowSeed), so the server
+	// knows which step tag every slot will carry — a round settles the
+	// moment the scheduled quorum is in, with no deadline involved.
+	Async ps.AsyncConfig
 }
 
 // recvEvent is one message from a connection reader: a gradient, or the
@@ -139,6 +144,12 @@ func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
 		if id < 0 || id >= cfg.Workers {
 			return nil, fmt.Errorf("cluster: unresponsive worker id %d outside [0, %d)", id, cfg.Workers)
 		}
+	}
+	if err := cfg.Async.Validate(cfg.Workers); err != nil {
+		return nil, err
+	}
+	if err := rejectInformedWithSlow(cfg.Byzantine, cfg.Async); err != nil {
+		return nil, err
 	}
 	c := &TCPCluster{
 		cfg:        cfg,
@@ -255,6 +266,20 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 	n := c.cfg.Workers
 	res := &ps.StepResult{Step: c.step}
 
+	// Asynchronous schedule: the same ps.SlowSeed evaluation the workers
+	// perform, so the server knows which step tag every slot will carry
+	// this round and which slots will never be filled (expect -1).
+	var expect []int
+	if c.cfg.Async.Enabled() {
+		expect = make([]int, n)
+		for id := range expect {
+			expect[id] = c.cfg.Async.ExpectedTag(c.cfg.Seed, c.step, id)
+			if expect[id] < 0 {
+				res.DroppedStale++
+			}
+		}
+	}
+
 	// Broadcast phase (parallel sends). Suspected workers are included — a
 	// straggler that recovers can rejoin the round. Sends to dead
 	// connections fail harmlessly; their readers already reported.
@@ -289,6 +314,9 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 	outstanding := func() int {
 		m := 0
 		for id := 0; id < n; id++ {
+			if expect != nil && expect[id] < 0 {
+				continue // scheduled too-stale: the slot will never fill
+			}
 			if !got[id] && !c.dead[id] && !c.suspected[id] {
 				m++
 			}
@@ -316,7 +344,11 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 			if msg.Worker < 0 || msg.Worker >= n {
 				return nil, fmt.Errorf("cluster: gradient from out-of-range worker id %d", msg.Worker)
 			}
-			if msg.Step != c.step {
+			want := c.step
+			if expect != nil {
+				want = expect[msg.Worker]
+			}
+			if msg.Step != want {
 				if msg.Step < c.step {
 					continue // stale straggler submission from an earlier round
 				}
@@ -326,6 +358,9 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 				// A lying worker reusing another id must fail loudly, not
 				// silently shrink the honest set.
 				return nil, fmt.Errorf("cluster: duplicate gradient for worker id %d at step %d", msg.Worker, c.step)
+			}
+			if msg.Step < c.step {
+				res.AdmittedStale++
 			}
 			got[msg.Worker] = true
 			grads[msg.Worker] = msg.Grad
@@ -352,6 +387,9 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 			received = append(received, grads[id])
 			continue
 		}
+		if expect != nil && expect[id] < 0 {
+			continue // scheduled too-stale: dropped by design, never recouped
+		}
 		if v := c.recoupSlot(id); v != nil {
 			received = append(received, v)
 		}
@@ -373,6 +411,14 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 	}
 	if lossN > 0 {
 		res.Loss = lossSum / float64(lossN)
+	}
+
+	// Quorum gate: an asynchronous round below the scheduled quorum is
+	// skipped rather than waited on, mirroring the in-process Cluster.
+	if c.cfg.Async.Enabled() && len(received) < c.cfg.Async.EffectiveQuorum(n) {
+		res.Skipped = true
+		c.step++
+		return res, nil
 	}
 
 	// Aggregation + descent phase, mirroring the in-process Cluster: a
@@ -483,6 +529,7 @@ func (cfg *TCPClusterConfig) workerSpec() workerSpec {
 		Byzantine:    cfg.Byzantine,
 		Unresponsive: cfg.Unresponsive,
 		Seed:         cfg.Seed,
+		Async:        cfg.Async,
 	}
 }
 
@@ -506,7 +553,11 @@ func runTCPClusterWorker(addr string, id int, cfg *TCPClusterConfig) error {
 		if cfg.Unresponsive[id] {
 			continue // consume the broadcast, never answer (crashed node)
 		}
-		if err := conn.SendGradient(w.submission(model)); err != nil {
+		sub := w.roundSubmission(model)
+		if sub == nil {
+			continue // scheduled too-stale: the worker sits the round out
+		}
+		if err := conn.SendGradient(sub); err != nil {
 			return err
 		}
 	}

@@ -104,6 +104,15 @@ type UDPClusterConfig struct {
 	Seed int64
 	// L1, L2 are the regularisation weights.
 	L1, L2 float64
+	// Async configures asynchronous bounded-staleness rounds. The slow
+	// schedule is evaluated at both endpoints (ps.SlowSeed), so the server
+	// knows which step tag every slot will carry — a round settles the
+	// moment the scheduled quorum is in, with no deadline involved. Async
+	// rounds require a loss-free model channel (ModelDropRate 0): the
+	// staleness regime is driven by the slow schedule, not by torn
+	// broadcasts, so an expected tag of -1 unambiguously means a scheduled
+	// drop that must never be recouped.
+	Async ps.AsyncConfig
 }
 
 // ModelRecoupPolicy selects what a worker does about a torn model broadcast
@@ -252,6 +261,15 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 			return nil, fmt.Errorf("cluster: unresponsive worker id %d outside [0, %d)", id, cfg.Workers)
 		}
 	}
+	if err := cfg.Async.Validate(cfg.Workers); err != nil {
+		return nil, err
+	}
+	if err := rejectInformedWithSlow(cfg.Byzantine, cfg.Async); err != nil {
+		return nil, err
+	}
+	if cfg.Async.Enabled() && cfg.ModelDropRate > 0 {
+		return nil, fmt.Errorf("cluster: asynchronous rounds need a loss-free model channel, got ModelDropRate %v (the slow schedule, not torn broadcasts, decides staleness)", cfg.ModelDropRate)
+	}
 	c := &UDPCluster{
 		cfg:          cfg,
 		server:       cfg.ModelFactory(),
@@ -278,6 +296,7 @@ func (cfg *UDPClusterConfig) workerSpec() workerSpec {
 		Byzantine:    cfg.Byzantine,
 		Unresponsive: cfg.Unresponsive,
 		Seed:         cfg.Seed,
+		Async:        cfg.Async,
 	}
 }
 
@@ -464,7 +483,15 @@ func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, s
 		if c.cfg.Unresponsive[w.id] {
 			continue // consume the broadcast, never answer (crashed node)
 		}
-		msg := w.submission(model)
+		// roundSubmission resolves the asynchronous slow schedule (retaining
+		// the broadcast model, training stale, or sitting the round out); in
+		// lockstep it is a plain submission. Async requires a loss-free model
+		// channel, so here model.Step == ev.Step always — the two staleness
+		// regimes never compose.
+		msg := w.roundSubmission(model)
+		if msg == nil {
+			continue // scheduled too-stale: the worker sits the round out
+		}
 		pktScratch = c.cfg.Codec.SplitInto(pktScratch[:0], msg, c.cfg.MTU)
 		// The uplink schedule stays keyed on the round (ev.Step), not the
 		// stale tag, so two stale submissions off the same model never
@@ -516,10 +543,23 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 	// the next same-tagged partial with stale metadata, in which case that
 	// slot settles through the recoup fill and the GAR absorbs it like any
 	// other corrupted gradient.
+	async := c.cfg.Async.Enabled()
 	modelDrop := make([][]bool, n)
 	expectTag := make([]int, n)
 	for id := 0; id < n; id++ {
 		modelDrop[id] = modelDropSchedule(c.cfg.Seed, c.step, id, pktCount, c.cfg.ModelDropRate)
+		if async {
+			// Asynchronous rounds: the slow schedule — not the (loss-free)
+			// model channel — decides each slot's tag: the current step for a
+			// fresh worker, an older one for a scheduled-slow worker training
+			// on its retained model, -1 when the scheduled lag breaches τ and
+			// the worker sits the round out.
+			expectTag[id] = c.cfg.Async.ExpectedTag(c.cfg.Seed, c.step, id)
+			if expectTag[id] < 0 {
+				res.DroppedStale++
+			}
+			continue
+		}
 		surv := transport.CountSurvivors(modelDrop[id], pktCount)
 		switch {
 		case surv == pktCount:
@@ -578,8 +618,15 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 
 	// Slots whose every packet is scheduled to drop can never arrive:
 	// recoup them up front (whole-gradient recoup, like a timed-out slot).
+	// A slot the asynchronous schedule dropped as too stale is settled
+	// without recoup — the server proceeds as if the worker does not exist
+	// this round, which is the whole point of the quorum design.
 	for id := 0; id < n; id++ {
 		if expectPkts[id] > 0 {
+			continue
+		}
+		if async && expectTag[id] < 0 {
+			dropped[id] = true
 			continue
 		}
 		if v := c.recoupSlot(id); v != nil {
@@ -667,9 +714,15 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 			// Stale counts only slots carrying an actual stale-tagged
 			// submission (arrived or fill-completed from its partial) —
 			// hasLoss distinguishes those from wholly recouped slots,
-			// which contain no worker gradient at all.
+			// which contain no worker gradient at all. The two staleness
+			// regimes are mutually exclusive, so under async the same
+			// condition counts scheduled slow-worker admissions instead.
 			if hasLoss[id] && expectTag[id] >= 0 && expectTag[id] != c.step {
-				res.Stale++
+				if async {
+					res.AdmittedStale++
+				} else {
+					res.Stale++
+				}
 			}
 		}
 	}
@@ -691,6 +744,14 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 	}
 	if lossN > 0 {
 		res.Loss = lossSum / float64(lossN)
+	}
+
+	// Quorum gate: an asynchronous round below the scheduled quorum is
+	// skipped rather than waited on, mirroring the other backends.
+	if async && len(received) < c.cfg.Async.EffectiveQuorum(n) {
+		res.Skipped = true
+		c.step++
+		return res, nil
 	}
 
 	// Aggregation + descent phase, mirroring the TCP backend: a round whose

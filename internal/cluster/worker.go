@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 
 	"aggregathor/internal/attack"
@@ -25,6 +26,7 @@ type workerSpec struct {
 	Byzantine    map[int]string
 	Unresponsive map[int]bool
 	Seed         int64
+	Async        ps.AsyncConfig
 }
 
 // clusterWorker is one worker node's state: its model replica, seeded
@@ -48,6 +50,11 @@ type clusterWorker struct {
 	peers        []int
 	peerReplica  *nn.Network
 	peerSamplers map[int]data.Sampler
+
+	// hist retains the last τ+1 complete model broadcasts so a round the
+	// slow schedule marks stale can train on the model from lag steps ago —
+	// the socket-side twin of the in-process Cluster's history ring.
+	hist []tensor.Vector
 }
 
 func newClusterWorker(id int, spec workerSpec) (*clusterWorker, error) {
@@ -57,6 +64,9 @@ func newClusterWorker(id int, spec workerSpec) (*clusterWorker, error) {
 		replica: spec.ModelFactory(),
 		sampler: data.NewUniformSampler(spec.Train, ps.SamplerSeed(spec.Seed, id)),
 		rng:     rand.New(rand.NewSource(ps.AttackSeed(spec.Seed, id))),
+	}
+	if spec.Async.Enabled() && spec.Async.Staleness > 0 {
+		w.hist = make([]tensor.Vector, spec.Async.Staleness+1)
 	}
 	if name, ok := spec.Byzantine[id]; ok {
 		atk, err := attack.New(name)
@@ -105,4 +115,52 @@ func (w *clusterWorker) submission(model *transport.ModelMsg) *transport.Gradien
 		})
 	}
 	return &transport.GradientMsg{Worker: w.id, Step: model.Step, Loss: loss, Grad: grad}
+}
+
+// roundSubmission resolves the asynchronous slow-worker schedule for one
+// model broadcast and computes the wire submission: a fresh worker trains on
+// the broadcast model, a scheduled-slow worker on the model it retained lag
+// steps ago (submitting with that older step tag, which is exactly the tag
+// the server's schedule evaluation expects), and a worker whose scheduled lag
+// breaches the staleness bound returns nil — it sits the round out entirely,
+// so the server never waits for the slot. Without an async configuration this
+// is a plain submission, byte-identical to the lockstep path.
+func (w *clusterWorker) roundSubmission(model *transport.ModelMsg) *transport.GradientMsg {
+	if w.hist != nil {
+		w.hist[model.Step%len(w.hist)] = model.Params.Clone()
+	}
+	if !w.spec.Async.Enabled() {
+		return w.submission(model)
+	}
+	tag := w.spec.Async.ExpectedTag(w.spec.Seed, model.Step, w.id)
+	switch {
+	case tag < 0:
+		return nil
+	case tag == model.Step:
+		return w.submission(model)
+	default:
+		return w.submission(&transport.ModelMsg{Step: tag, Params: w.hist[tag%len(w.hist)]})
+	}
+}
+
+// rejectInformedWithSlow enforces the informed-attack × slow-schedule
+// incompatibility at cluster construction: an informed attack recomputes the
+// honest workers' gradients from the broadcast model, which assumes every
+// peer trained fresh — a slow-worker schedule breaks that oracle (mirroring
+// the informed × lossy-model-broadcast rule on the UDP backend).
+func rejectInformedWithSlow(byzantine map[int]string, async ps.AsyncConfig) error {
+	if async.SlowRate <= 0 {
+		return nil
+	}
+	for id, name := range byzantine {
+		atk, err := attack.New(name)
+		if err != nil {
+			continue // reported by the caller's own attack validation
+		}
+		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
+			return fmt.Errorf("cluster: attack %q on worker %d requires recomputing honest gradients, incompatible with a slow-worker schedule (slowRate %v)",
+				name, id, async.SlowRate)
+		}
+	}
+	return nil
 }

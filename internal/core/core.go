@@ -206,6 +206,21 @@ type Config struct {
 	// broadcasts on the udp backend: skip the round, or train on the last
 	// complete model and submit a stale-tagged gradient.
 	ModelRecoup cluster.ModelRecoupPolicy
+	// Quorum, when positive, enables asynchronous rounds: the server
+	// aggregates as soon as that many gradients (fresh or admitted-stale)
+	// are in, instead of blocking on all n slots; rounds below quorum are
+	// skipped. 0 means all n workers (lockstep strictness).
+	Quorum int
+	// Staleness is the asynchronous staleness bound τ: gradients tagged up
+	// to τ steps behind the round are admitted, older ones dropped and
+	// counted.
+	Staleness int
+	// SlowWorkers is the per-(step, worker) probability that the
+	// deterministic ps.SlowSeed schedule marks a worker slow — it then
+	// trains on a model 1..τ steps old (or sits the round out when its lag
+	// breaches τ). Evaluated at both endpoints, so asynchronous runs stay a
+	// pure function of the seed.
+	SlowWorkers float64
 	// Protocol switches the time model between TCP and UDP costing.
 	Protocol simnet.Protocol
 	// RTT overrides the simulated link round-trip time when positive
@@ -260,12 +275,26 @@ type Result struct {
 	// submissions across the run (udp backend with lossy model broadcasts
 	// under the stale recoup policy).
 	StaleGradients int
+	// AdmittedStale counts gradients aggregated across the run that were
+	// computed against a model up to τ steps old, per the asynchronous
+	// slow-worker schedule.
+	AdmittedStale int
+	// DroppedTooStale counts slots the asynchronous schedule dropped
+	// because the scheduled lag exceeded the staleness bound τ.
+	DroppedTooStale int
 	// ResumedFromStep is the checkpointed step index the run warm-started
 	// from (0 for a fresh run).
 	ResumedFromStep int
 	// ModelDim is the trained model's parameter count (the dimension real
 	// aggregation wall-time measurements should use).
 	ModelDim int
+}
+
+// asyncConfig maps the experiment-level asynchronous-round knobs onto the
+// parameter service's AsyncConfig — the single translation every backend
+// shares.
+func (c *Config) asyncConfig() ps.AsyncConfig {
+	return ps.AsyncConfig{Quorum: c.Quorum, Staleness: c.Staleness, SlowRate: c.SlowWorkers}
 }
 
 // applyDefaults fills unset fields with the paper's evaluation defaults.
@@ -359,6 +388,17 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: lossy model broadcasts (ModelDropRate/ModelRecoup) need backend %q, got %q",
 			BackendUDP, cfg.Backend)
 	}
+	// Asynchronous rounds and lossy model broadcasts are two distinct
+	// staleness regimes — the slow schedule vs torn broadcasts — and they
+	// must not compose: an unfillable slot has to mean exactly one thing.
+	if cfg.asyncConfig().Enabled() {
+		if cfg.ModelDropRate != 0 || cfg.ModelRecoup != cluster.ModelRecoupSkip {
+			return nil, errors.New("core: asynchronous rounds (Quorum/Staleness/SlowWorkers) are incompatible with lossy model broadcasts (ModelDropRate/ModelRecoup)")
+		}
+		if cfg.Aggregator == "draco" || cfg.ServerReplicas > 1 {
+			return nil, errors.New("core: asynchronous rounds are not supported on the draco or replicated deployments")
+		}
+	}
 	// The wire format is a lossy-link property: only the udp backend and
 	// the in-process lossy pipes have a wire at all. A "float32" request on
 	// a reliable deployment would silently train on float64 tensors, so it
@@ -428,6 +468,8 @@ func Run(cfg Config) (*Result, error) {
 		Mode:         mode,
 		L1:           cfg.L1,
 		L2:           cfg.L2,
+		Seed:         cfg.Seed,
+		Async:        cfg.asyncConfig(),
 	})
 	if err != nil {
 		return nil, err

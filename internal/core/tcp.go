@@ -44,6 +44,7 @@ func runTCP(cfg Config) (*Result, error) {
 				Seed:         cfg.Seed,
 				L1:           cfg.L1,
 				L2:           cfg.L2,
+				Async:        cfg.asyncConfig(),
 			})
 		})
 }

@@ -47,6 +47,8 @@ func runTraining(cfg Config, t ps.Trainer, test *data.Dataset, round simnet.Roun
 			res.SkippedRounds++
 		}
 		res.StaleGradients += sr.Stale
+		res.AdmittedStale += sr.AdmittedStale
+		res.DroppedTooStale += sr.DroppedStale
 		if sr.Hijacked {
 			res.Hijacked = true
 		}

@@ -49,6 +49,7 @@ func runUDP(cfg Config) (*Result, error) {
 				Seed:          cfg.Seed,
 				L1:            cfg.L1,
 				L2:            cfg.L2,
+				Async:         cfg.asyncConfig(),
 			})
 		})
 }

@@ -45,6 +45,15 @@ func (b *GenericBulyan) MinWorkers() int { return 4*b.NumByzantine + 3 }
 
 // Aggregate implements GAR.
 func (b *GenericBulyan) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(b, grads)
+}
+
+// AggregateInto implements WorkspaceGAR. The inner rule aggregates through
+// the workspace's nested inner workspace, so the outer loop's shrinking
+// candidate list and selection survive whatever buffers the underlying rule
+// touches; each proposal aliases that inner workspace and is consumed before
+// the next iteration overwrites it.
+func (b *GenericBulyan) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if b.Inner == nil {
 		return nil, fmt.Errorf("gar: generic bulyan has no underlying GAR")
 	}
@@ -58,17 +67,19 @@ func (b *GenericBulyan) Aggregate(grads []tensor.Vector) (tensor.Vector, error) 
 			ErrTooFewWorkers, b.Inner.Name(), f, b.MinWorkers(), n)
 	}
 	theta := n - 2*f
-	remaining := make([]tensor.Vector, len(grads))
-	copy(remaining, grads)
-	selected := make([]tensor.Vector, 0, theta)
+	remaining := ws.ensureRemaining(n)
+	remaining = append(remaining, grads...)
+	selected := ws.ensurePicked(theta)
+	inner := ws.ensureInner()
 	for len(selected) < theta {
-		proposal, err := b.Inner.Aggregate(remaining)
+		proposal, err := AggregateInto(inner, b.Inner, remaining)
 		if err != nil {
 			// The shrinking set may fall below Inner's requirement
 			// (e.g. multi-krum needs 2f+3); fall back to the
 			// remaining set's coordinate median as the proposal,
 			// which stays Byzantine-bounded.
-			proposal = tensor.CoordinateMedian(remaining)
+			proposal = inner.ensureOut(grads[0].Dim())
+			inner.cols.Run(proposal, remaining, 0, tensor.MedianKernel, true)
 		}
 		best, bestDist := -1, math.Inf(1)
 		for i, v := range remaining {
@@ -84,6 +95,6 @@ func (b *GenericBulyan) Aggregate(grads []tensor.Vector) (tensor.Vector, error) 
 		remaining = append(remaining[:best], remaining[best+1:]...)
 	}
 	beta := theta - 2*f
-	helper := &Bulyan{NumByzantine: f}
-	return helper.coordinateAggregate(selected, beta), nil
+	helper := Bulyan{NumByzantine: f}
+	return helper.coordinateAggregateInto(ws, selected, beta), nil
 }

@@ -38,6 +38,13 @@ func (g *GeoMedian) MinWorkers() int { return 2*g.NumByzantine + 1 }
 
 // Aggregate implements GAR.
 func (g *GeoMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	return aggregateFresh(g, grads)
+}
+
+// AggregateInto implements WorkspaceGAR: the Weiszfeld iterations alternate
+// between the workspace's two iterate buffers and the finite-gradient filter
+// reuses its list, so a warm aggregation allocates nothing.
+func (g *GeoMedian) AggregateInto(ws *Workspace, grads []tensor.Vector) (tensor.Vector, error) {
 	if err := checkUniform(grads); err != nil {
 		return nil, err
 	}
@@ -45,16 +52,19 @@ func (g *GeoMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
 		return nil, fmt.Errorf("%w: geometric-median(f=%d) needs n >= %d, got %d",
 			ErrTooFewWorkers, g.NumByzantine, g.MinWorkers(), len(grads))
 	}
-	finite := make([]tensor.Vector, 0, len(grads))
+	finite := ws.ensureFinite(len(grads))
 	for _, v := range grads {
 		if v.IsFinite() {
 			finite = append(finite, v)
 		}
 	}
+	d := grads[0].Dim()
+	out := ws.ensureOut(d)
 	if len(finite) == 0 {
 		// Every vector is poisoned; a null update is the only safe
 		// total answer.
-		return tensor.NewVector(grads[0].Dim()), nil
+		out.Zero()
+		return out, nil
 	}
 	maxIter := g.MaxIter
 	if maxIter == 0 {
@@ -64,20 +74,21 @@ func (g *GeoMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
 	if tol == 0 {
 		tol = 1e-9
 	}
-	y := tensor.Mean(finite)
-	next := tensor.NewVector(y.Dim())
+	y, next := ws.ensureIter(d)
+	tensor.MeanInto(y, finite)
 	for iter := 0; iter < maxIter; iter++ {
 		next.Zero()
 		var wsum float64
 		for _, x := range finite {
-			d := tensor.Distance(x, y)
-			if d < 1e-12 {
+			dist := tensor.Distance(x, y)
+			if dist < 1e-12 {
 				// The iterate sits on a data point; Weiszfeld is
 				// singular here and the point is already (near-)
 				// optimal for our purposes.
-				return x.Clone(), nil
+				copy(out, x)
+				return out, nil
 			}
-			w := 1 / d
+			w := 1 / dist
 			next.Axpy(w, x)
 			wsum += w
 		}
@@ -88,7 +99,8 @@ func (g *GeoMedian) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
 			break
 		}
 	}
-	return y.Clone(), nil
+	copy(out, y)
+	return out, nil
 }
 
 // MeanAroundMedian is the "mean-around-median" rule of Xie et al. 2018: per

@@ -40,6 +40,19 @@ type Workspace struct {
 	rows        [][]float64
 	active      []int
 	selected    []int
+
+	// Weiszfeld state for the geometric median: the finite-gradient filter
+	// list and the two alternating iterate buffers.
+	finite []tensor.Vector
+	iterA  tensor.Vector
+	iterB  tensor.Vector
+
+	// Generic BULYAN's shrinking candidate list. Its inner rule aggregates
+	// through a dedicated nested workspace (lazily allocated, then retained)
+	// so the outer loop's state can never be clobbered by whichever rule
+	// sits underneath — including another workspace-backed composite.
+	remaining []tensor.Vector
+	inner     *Workspace
 }
 
 // NewWorkspace returns an empty workspace. Equivalent to &Workspace{}; the
@@ -99,6 +112,43 @@ func (ws *Workspace) ensureOut(d int) tensor.Vector {
 		ws.out = tensor.NewVector(d)
 	}
 	return ws.out[:d]
+}
+
+// ensureFinite returns an empty vector list with capacity n for the
+// finite-gradient filter.
+func (ws *Workspace) ensureFinite(n int) []tensor.Vector {
+	if cap(ws.finite) < n {
+		ws.finite = make([]tensor.Vector, 0, n)
+	}
+	return ws.finite[:0]
+}
+
+// ensureIter returns the two d-dimensional Weiszfeld iterate buffers
+// (contents undefined).
+func (ws *Workspace) ensureIter(d int) (a, b tensor.Vector) {
+	if cap(ws.iterA) < d {
+		ws.iterA = tensor.NewVector(d)
+		ws.iterB = tensor.NewVector(d)
+	}
+	return ws.iterA[:d], ws.iterB[:d]
+}
+
+// ensureRemaining returns an empty vector list with capacity n for generic
+// BULYAN's shrinking candidate set.
+func (ws *Workspace) ensureRemaining(n int) []tensor.Vector {
+	if cap(ws.remaining) < n {
+		ws.remaining = make([]tensor.Vector, 0, n)
+	}
+	return ws.remaining[:0]
+}
+
+// ensureInner returns the nested workspace used for a composite rule's inner
+// aggregation, allocating it on first use.
+func (ws *Workspace) ensureInner() *Workspace {
+	if ws.inner == nil {
+		ws.inner = NewWorkspace()
+	}
+	return ws.inner
 }
 
 // ensureBulyan returns the sorted-row state for n gradients: n empty rows

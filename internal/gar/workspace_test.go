@@ -21,6 +21,9 @@ func workspaceRules(t *testing.T) []GAR {
 		NewKrum(2),
 		NewMultiKrum(2),
 		NewBulyan(2),
+		NewGeoMedian(2),
+		NewGenericBulyan(Median{}, 2),
+		NewGenericBulyan(NewGeoMedian(2), 2),
 	}
 	for _, r := range rules {
 		if _, ok := r.(WorkspaceGAR); !ok {
@@ -76,16 +79,30 @@ func TestAggregateIntoMatchesAggregate(t *testing.T) {
 	}
 }
 
+// plainAverage is a deliberately workspace-less rule: it implements GAR but
+// not WorkspaceGAR, standing in for third-party rules that only provide the
+// allocating path (every built-in rule now has a workspace kernel).
+type plainAverage struct{}
+
+func (plainAverage) Name() string { return "plain-average" }
+
+func (plainAverage) Aggregate(grads []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUniform(grads); err != nil {
+		return nil, err
+	}
+	return tensor.Mean(grads), nil
+}
+
 // TestAggregateIntoFallback: rules without workspace kernels (and nil
 // workspaces) must route through plain Aggregate.
 func TestAggregateIntoFallback(t *testing.T) {
 	grads := randVectors(25, 11, 64, 0)
-	geo := NewGeoMedian(2)
-	want, err := geo.Aggregate(grads)
+	plain := plainAverage{}
+	want, err := plain.Aggregate(grads)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := AggregateInto(NewWorkspace(), geo, grads)
+	got, err := AggregateInto(NewWorkspace(), plain, grads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +175,8 @@ func TestWorkspaceRulesGOMAXPROCSParity(t *testing.T) {
 	const n, d = 19, 2*distParallelMin + 13
 	grads := randVectors(28, n, d, 0.001)
 	rules := []GAR{Median{}, TrimmedMean{Beta: 4}, NewMeanAroundMedian(4),
-		SelectiveAverage{}, NewMultiKrum(4), NewBulyan(4)}
+		SelectiveAverage{}, NewMultiKrum(4), NewBulyan(4),
+		NewGeoMedian(4), NewGenericBulyan(Median{}, 4)}
 	for _, rule := range rules {
 		run := func(procs int) tensor.Vector {
 			old := runtime.GOMAXPROCS(procs)

@@ -1,0 +1,222 @@
+package ps
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AsyncConfig describes the asynchronous bounded-staleness round mode: the
+// server aggregates as soon as a quorum of fresh-enough gradients is in,
+// instead of blocking on all n slots. "Fresh enough" means tagged at most
+// Staleness steps behind the current round; which workers lag (and by how
+// much) is decided by the deterministic SlowSeed schedule, evaluated at both
+// endpoints, so the admitted-gradient set per aggregation is a pure function
+// of the run seed. The zero value means lockstep: every worker fresh, every
+// slot required — byte-identical to a run without the mode.
+type AsyncConfig struct {
+	// Quorum is the minimum number of gradients (fresh or admitted-stale)
+	// that must reach the server for the round to aggregate; rounds below
+	// quorum are skipped. 0 means n (all slots), i.e. lockstep strictness.
+	Quorum int
+
+	// Staleness is the bound τ: a gradient tagged up to τ steps behind the
+	// current round is admitted (and counted), older ones are dropped and
+	// counted. 0 admits only fresh gradients.
+	Staleness int
+
+	// SlowRate is the per-(step, worker) probability that the SlowSeed
+	// schedule marks a worker slow this round. A slow worker trains on a
+	// model it retained 1..τ steps ago and submits with that older tag; a
+	// worker whose scheduled lag exceeds τ sits the round out entirely.
+	SlowRate float64
+}
+
+// Enabled reports whether any asynchronous behaviour is configured.
+func (a AsyncConfig) Enabled() bool {
+	return a.Quorum > 0 || a.Staleness > 0 || a.SlowRate > 0
+}
+
+// Validate checks the configuration against the cluster size.
+func (a AsyncConfig) Validate(workers int) error {
+	if a.Quorum < 0 {
+		return fmt.Errorf("ps: Quorum must be >= 0, got %d", a.Quorum)
+	}
+	if a.Quorum > workers {
+		return fmt.Errorf("ps: Quorum %d exceeds worker count %d", a.Quorum, workers)
+	}
+	if a.Staleness < 0 {
+		return fmt.Errorf("ps: Staleness must be >= 0, got %d", a.Staleness)
+	}
+	if a.SlowRate < 0 || a.SlowRate >= 1 {
+		return fmt.Errorf("ps: SlowRate must be in [0, 1), got %v", a.SlowRate)
+	}
+	if a.SlowRate > 0 && a.Staleness == 0 {
+		return fmt.Errorf("ps: SlowRate %v needs Staleness >= 1 (a slow worker lags at least one step)", a.SlowRate)
+	}
+	return nil
+}
+
+// EffectiveQuorum resolves the configured quorum against the cluster size:
+// 0 means every slot.
+func (a AsyncConfig) EffectiveQuorum(workers int) int {
+	if a.Quorum == 0 {
+		return workers
+	}
+	return a.Quorum
+}
+
+// Lag evaluates the slow-worker schedule for one (step, worker): 0 means the
+// worker is fresh this round, k >= 1 means it trains on the model from step
+// step-k. The draw is keyed on SlowSeed so both endpoints agree without
+// communicating; the lag is clamped to the steps that actually exist, so
+// early rounds are fresh by construction. A drawn lag may exceed Staleness
+// (by exactly one) — that worker's gradient would be too stale to admit, and
+// ExpectedTag reports it as dropped.
+func (a AsyncConfig) Lag(runSeed int64, step, worker int) int {
+	if a.SlowRate <= 0 || step == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(SlowSeed(runSeed, step, worker)))
+	if rng.Float64() >= a.SlowRate {
+		return 0
+	}
+	lag := 1 + rng.Intn(a.Staleness+1)
+	if lag > step {
+		lag = step
+	}
+	return lag
+}
+
+// ExpectedTag resolves the schedule to the step tag worker's gradient will
+// carry this round, or -1 when the scheduled lag exceeds the staleness bound
+// — that worker sits the round out (no sample, no compute, no send) and the
+// server counts the slot as dropped-too-stale without waiting for it.
+func (a AsyncConfig) ExpectedTag(runSeed int64, step, worker int) int {
+	lag := a.Lag(runSeed, step, worker)
+	if lag > a.Staleness {
+		return -1
+	}
+	return step - lag
+}
+
+// Admission classifies one gradient arrival against the quorum tracker's
+// expectations.
+type Admission int
+
+const (
+	// AdmitFresh admits a gradient tagged with the current round.
+	AdmitFresh Admission = iota
+	// AdmitStale admits a gradient tagged within the staleness bound, as
+	// scheduled for that worker.
+	AdmitStale
+	// RejectDuplicate rejects a second arrival for an already-admitted slot.
+	RejectDuplicate
+	// RejectTooStale rejects a tag older than the staleness bound.
+	RejectTooStale
+	// RejectWrongTag rejects a tag inside the staleness window that does not
+	// match the worker's scheduled tag (or any future tag).
+	RejectWrongTag
+	// RejectUnknownWorker rejects a worker id outside [0, n).
+	RejectUnknownWorker
+)
+
+// String renders the admission verdict for diagnostics.
+func (a Admission) String() string {
+	switch a {
+	case AdmitFresh:
+		return "admit-fresh"
+	case AdmitStale:
+		return "admit-stale"
+	case RejectDuplicate:
+		return "reject-duplicate"
+	case RejectTooStale:
+		return "reject-too-stale"
+	case RejectWrongTag:
+		return "reject-wrong-tag"
+	case RejectUnknownWorker:
+		return "reject-unknown-worker"
+	default:
+		return fmt.Sprintf("admission(%d)", int(a))
+	}
+}
+
+// QuorumTracker drives staleness admission for one asynchronous round. It is
+// constructed from the schedule's expected tag per worker (-1 = scheduled
+// too-stale, the slot will never fill) and admits arrivals one at a time;
+// the round may aggregate once QuorumMet and stops waiting once Settled.
+// The tracker is deliberately free of I/O so arbitrary arrival sequences can
+// be fuzzed against its invariants.
+type QuorumTracker struct {
+	step      int
+	staleness int
+	quorum    int
+	expect    []int
+	admitted  []bool
+
+	admittedCount int
+	admittedStale int
+	droppedStale  int
+}
+
+// NewQuorumTracker builds the tracker for one round. expect holds the
+// scheduled step tag per worker (from AsyncConfig.ExpectedTag); slots whose
+// tag is -1 are counted dropped-too-stale immediately — the schedule says
+// their gradients would breach the staleness bound, so the server never
+// waits for them.
+func NewQuorumTracker(step int, expect []int, quorum, staleness int) *QuorumTracker {
+	t := &QuorumTracker{
+		step:      step,
+		staleness: staleness,
+		quorum:    quorum,
+		expect:    expect,
+		admitted:  make([]bool, len(expect)),
+	}
+	for _, tag := range expect {
+		if tag < 0 {
+			t.droppedStale++
+		}
+	}
+	return t
+}
+
+// Admit classifies one (worker, tag) arrival. Only AdmitFresh and AdmitStale
+// mutate the tracker; every rejection leaves it unchanged.
+func (t *QuorumTracker) Admit(worker, tag int) Admission {
+	if worker < 0 || worker >= len(t.expect) {
+		return RejectUnknownWorker
+	}
+	if t.admitted[worker] {
+		return RejectDuplicate
+	}
+	if tag < t.step-t.staleness {
+		return RejectTooStale
+	}
+	if tag != t.expect[worker] {
+		return RejectWrongTag
+	}
+	t.admitted[worker] = true
+	t.admittedCount++
+	if tag == t.step {
+		return AdmitFresh
+	}
+	t.admittedStale++
+	return AdmitStale
+}
+
+// Admitted reports how many slots have been admitted so far.
+func (t *QuorumTracker) Admitted() int { return t.admittedCount }
+
+// AdmittedStale reports how many admitted slots carried an older tag.
+func (t *QuorumTracker) AdmittedStale() int { return t.admittedStale }
+
+// DroppedStale reports how many slots the schedule dropped as too stale.
+func (t *QuorumTracker) DroppedStale() int { return t.droppedStale }
+
+// QuorumMet reports whether enough slots are admitted to aggregate.
+func (t *QuorumTracker) QuorumMet() bool { return t.admittedCount >= t.quorum }
+
+// Settled reports whether every slot that can still arrive has been
+// admitted — the round has nothing left to wait for.
+func (t *QuorumTracker) Settled() bool {
+	return t.admittedCount+t.droppedStale == len(t.expect)
+}

@@ -88,6 +88,12 @@ type Config struct {
 	Mode SecurityMode
 	// L1, L2 are the regularisation weights.
 	L1, L2 float64
+	// Seed is the run seed the deterministic schedules (SlowSeed) are keyed
+	// on. Only consulted when Async is enabled.
+	Seed int64
+	// Async configures asynchronous bounded-staleness rounds; the zero
+	// value is lockstep and leaves every code path byte-identical.
+	Async AsyncConfig
 }
 
 // Cluster is an assembled synchronous training deployment.
@@ -98,6 +104,7 @@ type Cluster struct {
 	replicas []*nn.Network
 	rngs     []*rand.Rand
 	ws       *gar.Workspace // per-trainer aggregation scratch arena
+	history  []tensor.Vector // model snapshots per round, ring of τ+1 (async)
 	step     int
 	hijacked bool
 }
@@ -121,6 +128,14 @@ type StepResult struct {
 	// trained on its last complete model and the server accepted the
 	// resulting gradient into the current round (ModelRecoupStale).
 	Stale int
+	// AdmittedStale counts slots aggregated this round whose gradient was
+	// computed against a model up to τ steps old, per the asynchronous
+	// slow-worker schedule.
+	AdmittedStale int
+	// DroppedStale counts slots the asynchronous schedule dropped this
+	// round because the scheduled lag exceeded the staleness bound τ; the
+	// server never waits for (or recoups) these.
+	DroppedStale int
 }
 
 // New validates the configuration and builds the cluster.
@@ -146,7 +161,25 @@ func New(cfg Config) (*Cluster, error) {
 				cfg.GAR.Name(), info.F(), info.MinWorkers(), len(cfg.Workers))
 		}
 	}
+	if err := cfg.Async.Validate(len(cfg.Workers)); err != nil {
+		return nil, err
+	}
+	if cfg.Async.SlowRate > 0 {
+		// An informed attack recomputes the honest workers' gradients from
+		// the broadcast model, which assumes every peer trained fresh; a
+		// slow schedule breaks that oracle, so the combination is rejected
+		// (mirroring the informed × lossy-model-broadcast rule).
+		for i, w := range cfg.Workers {
+			if inf, ok := w.Attack.(attack.Informed); ok && inf.RequiresHonest() {
+				return nil, fmt.Errorf("ps: attack %q on worker %d requires recomputing honest gradients, incompatible with a slow-worker schedule (SlowRate %v)",
+					w.Attack.Name(), i, cfg.Async.SlowRate)
+			}
+		}
+	}
 	c := &Cluster{cfg: cfg, server: cfg.ModelFactory(), ws: gar.NewWorkspace()}
+	if cfg.Async.Enabled() && cfg.Async.Staleness > 0 {
+		c.history = make([]tensor.Vector, cfg.Async.Staleness+1)
+	}
 	c.params = c.server.ParamsVector()
 	c.replicas = make([]*nn.Network, len(cfg.Workers))
 	c.rngs = make([]*rand.Rand, len(cfg.Workers))
@@ -185,6 +218,27 @@ func (c *Cluster) Step() (*StepResult, error) {
 		}
 	}
 
+	// Asynchronous schedule: resolve each worker's step tag for this round
+	// (c.step = fresh, older = train on the retained model and submit with
+	// that tag, -1 = the scheduled lag breaches τ and the worker sits the
+	// round out) and retain the round's broadcast model so stale workers of
+	// later rounds can train on it. Both sides of the socket backends
+	// evaluate the same schedule, so this loop is the single source of truth
+	// for which slots a round waits on.
+	var expect []int
+	if c.cfg.Async.Enabled() {
+		expect = make([]int, n)
+		for i := range expect {
+			expect[i] = c.cfg.Async.ExpectedTag(c.cfg.Seed, c.step, i)
+			if expect[i] < 0 {
+				res.DroppedStale++
+			}
+		}
+	}
+	if len(c.history) > 0 {
+		c.history[c.step%len(c.history)] = c.params.Clone()
+	}
+
 	// Broadcast + honest compute phase (parallel, one goroutine per
 	// worker, each on its own replica).
 	honest := make([]tensor.Vector, n)
@@ -196,11 +250,18 @@ func (c *Cluster) Step() (*StepResult, error) {
 		if w.Silent || w.Sampler == nil {
 			continue
 		}
+		if expect != nil && expect[i] < 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			replica := c.replicas[i]
-			replica.SetParamsVector(c.params)
+			params := c.params
+			if expect != nil && expect[i] < c.step {
+				params = c.history[expect[i]%len(c.history)]
+			}
+			replica.SetParamsVector(params)
 			x, y := c.cfg.Workers[i].Sampler.Sample(c.cfg.Batch)
 			loss, grad := replica.Gradient(x, y)
 			honest[i] = grad.Clone()
@@ -230,10 +291,17 @@ func (c *Cluster) Step() (*StepResult, error) {
 		if w.Silent {
 			continue
 		}
+		tag := c.step
+		if expect != nil {
+			if expect[i] < 0 {
+				continue
+			}
+			tag = expect[i]
+		}
 		var g tensor.Vector
 		if w.Attack != nil {
 			g = w.Attack.Forge(&attack.Context{
-				Step:   c.step,
+				Step:   tag,
 				Honest: correct,
 				Own:    honest[i],
 				N:      n,
@@ -247,7 +315,7 @@ func (c *Cluster) Step() (*StepResult, error) {
 		if g == nil {
 			continue
 		}
-		submissions[i] = &transport.GradientMsg{Worker: i, Step: c.step, Grad: g}
+		submissions[i] = &transport.GradientMsg{Worker: i, Step: tag, Grad: g}
 	}
 
 	// Collection phase: every submission traverses its link.
@@ -264,6 +332,9 @@ func (c *Cluster) Step() (*StepResult, error) {
 		if !ok {
 			continue
 		}
+		if out.Step < c.step {
+			res.AdmittedStale++
+		}
 		received = append(received, out.Grad)
 	}
 	res.Received = len(received)
@@ -279,6 +350,15 @@ func (c *Cluster) Step() (*StepResult, error) {
 	}
 	if lossN > 0 {
 		res.Loss = lossSum / float64(lossN)
+	}
+
+	// Quorum gate: an asynchronous round whose survivor count falls below
+	// the scheduled quorum is skipped (the model is left unchanged) rather
+	// than waited on — stragglers never gate the round.
+	if c.cfg.Async.Enabled() && len(received) < c.cfg.Async.EffectiveQuorum(n) {
+		res.Skipped = true
+		c.step++
+		return res, nil
 	}
 
 	// Aggregation + descent phase. The workspace-backed kernels reuse the

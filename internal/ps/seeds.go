@@ -55,3 +55,18 @@ func DropSeed(runSeed int64, step, worker int) int64 {
 func ModelDropSeed(runSeed int64, step, worker int) int64 {
 	return runSeed ^ (int64(step)*1000033 + int64(worker)*5003 + 23 + 1<<62)
 }
+
+// SlowSeed derives the RNG seed for the asynchronous-round slow-worker
+// schedule at one (step, worker). The schedule decides which workers lag this
+// round (and by how many steps) and is evaluated at BOTH endpoints — the
+// worker to know which historical model to train on (or to sit the round out
+// entirely), the server to know exactly which step tag each slot will carry
+// and which slots will never be filled. That shared knowledge is what lets an
+// asynchronous round settle the moment the scheduled quorum is in, with no
+// deadline, and keeps the admitted-gradient set a pure function of the run
+// seed. The 1<<61 offset keeps the stream disjoint from DropSeed's and
+// ModelDropSeed's lattices, and the primes are fresh so no (step, worker)
+// pair aliases another schedule.
+func SlowSeed(runSeed int64, step, worker int) int64 {
+	return runSeed ^ (int64(step)*1000121 + int64(worker)*4999 + 37 + 1<<61)
+}

@@ -38,6 +38,19 @@ type Result struct {
 	// submissions across the run (udp backend, lossy model broadcasts with
 	// modelRecoup "stale") — the staleness readout of the model-loss axis.
 	StaleGradients int `json:"staleGradients"`
+	// AdmittedStale counts gradients aggregated across the run that were
+	// computed against a model up to τ steps old, per the asynchronous
+	// slow-worker schedule (cells with quorum/staleness/slowWorkers set).
+	AdmittedStale int `json:"admittedStale,omitempty"`
+	// DroppedTooStale counts slots the asynchronous schedule dropped
+	// because the scheduled lag exceeded the staleness bound τ.
+	DroppedTooStale int `json:"droppedTooStale,omitempty"`
+	// RoundsPerSec is the effective model-update rate against the simulated
+	// clock — aggregated (non-skipped) rounds per simulated second. Only
+	// reported for asynchronous cells, where it is the headline readout:
+	// a lockstep cell gated by slow workers skips rounds, a quorum cell
+	// keeps aggregating without them.
+	RoundsPerSec float64 `json:"roundsPerSec,omitempty"`
 	// MeasuredAggWallNS is the real measured wall time of one aggregation
 	// at the run's model dimension, in nanoseconds. Only present when the
 	// spec sets includeWallTime; it is host wall clock and therefore the
@@ -168,6 +181,9 @@ func executeRun(s *Spec, r Run) Result {
 		ModelRecoup:   modelPolicy,
 		Protocol:      proto,
 		RTT:           r.Network.rtt(),
+		Quorum:        r.Network.Quorum,
+		Staleness:     r.Network.Staleness,
+		SlowWorkers:   r.Network.SlowWorkers,
 		Seed:          r.Seed,
 	}
 	res, err := core.Run(cfg)
@@ -189,6 +205,17 @@ func executeRun(s *Spec, r Run) Result {
 	out.RoundTimeNS = res.Breakdown.Total().Nanoseconds()
 	out.SkippedRounds = res.SkippedRounds
 	out.StaleGradients = res.StaleGradients
+	out.AdmittedStale = res.AdmittedStale
+	out.DroppedTooStale = res.DroppedTooStale
+	// The effective round rate is only reported for asynchronous cells so
+	// pre-async campaign JSON stays byte-identical. It divides aggregated
+	// (non-skipped) rounds by total simulated time: a lockstep cell gated by
+	// a slow schedule loses rounds to the quorum check, an async quorum cell
+	// keeps updating — the contrast this axis exists to show.
+	if r.Network.asyncEnabled() && s.Steps > 0 && out.RoundTimeNS > 0 {
+		simSeconds := float64(s.Steps) * float64(out.RoundTimeNS) * 1e-9
+		out.RoundsPerSec = float64(s.Steps-res.SkippedRounds) / simSeconds
+	}
 	out.Diverged = res.Diverged
 	out.Hijacked = res.Hijacked
 	out.modelDim = res.ModelDim

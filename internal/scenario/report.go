@@ -122,6 +122,10 @@ func (c *Campaign) Summary() string {
 		b.WriteString(wire)
 	}
 
+	if async := c.asyncSection(); async != "" {
+		b.WriteString(async)
+	}
+
 	if errs := c.errorLines(); len(errs) > 0 {
 		fmt.Fprintf(&b, "\n== infeasible runs ==\n")
 		for _, line := range errs {
@@ -191,6 +195,50 @@ func (c *Campaign) wireSection() string {
 			fmt.Fprintf(&b, "%-24s %-10s %10s %10s %6d\n",
 				n.Name, wireName(n.WireFormat), meanStr, deltaStr, scored)
 		}
+	}
+	return b.String()
+}
+
+// asyncSection renders the asynchronous-round digest: for every network cell
+// with quorum/staleness/slowWorkers set, the effective round rate against the
+// simulated clock plus the staleness bookkeeping — gradients admitted stale,
+// slots dropped as too stale, and rounds lost to the quorum gate — summed
+// over the cell's runs. Reading the rounds/sec column across a lockstep-slow
+// cell and its quorum twin is the straggler contrast the mode exists to show.
+// The section disappears when no network runs asynchronously.
+func (c *Campaign) asyncSection() string {
+	var b strings.Builder
+	for _, n := range c.Spec.Networks {
+		if !n.asyncEnabled() {
+			continue
+		}
+		var rpsSum float64
+		var admitted, dropped, skipped, scored int
+		for _, res := range c.Results {
+			if res.Run.Network.Name != n.Name || res.Error != "" {
+				continue
+			}
+			scored++
+			rpsSum += res.RoundsPerSec
+			admitted += res.AdmittedStale
+			dropped += res.DroppedTooStale
+			skipped += res.SkippedRounds
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "\n== asynchronous rounds ==\n")
+			fmt.Fprintf(&b, "%-24s %7s %3s %6s %10s %9s %9s %8s %6s\n",
+				"network", "quorum", "tau", "slow", "rounds/s", "adm-stale", "too-stale", "skipped", "runs")
+		}
+		quorum := "all"
+		if n.Quorum > 0 {
+			quorum = fmt.Sprintf("%d", n.Quorum)
+		}
+		rps := "-"
+		if scored > 0 {
+			rps = fmt.Sprintf("%.2f", rpsSum/float64(scored))
+		}
+		fmt.Fprintf(&b, "%-24s %7s %3d %6.2f %10s %9d %9d %8d %6d\n",
+			n.Name, quorum, n.Staleness, n.SlowWorkers, rps, admitted, dropped, skipped, scored)
 	}
 	return b.String()
 }

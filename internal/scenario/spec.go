@@ -80,6 +80,21 @@ type Network struct {
 	// on the last complete model and submit a stale-tagged gradient,
 	// opening the staleness axis). Requires backend "udp".
 	ModelRecoup string `json:"modelRecoup,omitempty"`
+	// Quorum, when positive, enables asynchronous rounds on this cell: the
+	// server aggregates as soon as that many gradients (fresh or
+	// admitted-stale) are in, instead of blocking on all n slots; rounds
+	// below quorum are skipped. 0 means all n workers.
+	Quorum int `json:"quorum,omitempty"`
+	// Staleness is the asynchronous staleness bound τ: gradients tagged up
+	// to τ steps behind the round are admitted, older ones dropped and
+	// counted.
+	Staleness int `json:"staleness,omitempty"`
+	// SlowWorkers is the per-(step, worker) probability in [0, 1) that the
+	// deterministic ps.SlowSeed schedule marks a worker slow (training on a
+	// model 1..τ steps old, or sitting the round out when its lag breaches
+	// τ). Evaluated at both endpoints, so asynchronous cells stay
+	// byte-reproducible. Requires staleness >= 1.
+	SlowWorkers float64 `json:"slowWorkers,omitempty"`
 	// Protocol costs the simulated clock as "tcp" (default) or "udp".
 	Protocol string `json:"protocol,omitempty"`
 	// RTTMicros overrides the simulated link round-trip time in
@@ -250,6 +265,18 @@ func (s *Spec) Validate() error {
 		if _, err := n.modelRecoupPolicy(); err != nil {
 			return err
 		}
+		if n.Quorum < 0 || n.Staleness < 0 {
+			return fmt.Errorf("scenario: network %q quorum=%d staleness=%d must be >= 0", n.Name, n.Quorum, n.Staleness)
+		}
+		if n.SlowWorkers < 0 || n.SlowWorkers >= 1 {
+			return fmt.Errorf("scenario: network %q slowWorkers %v outside [0, 1)", n.Name, n.SlowWorkers)
+		}
+		if n.SlowWorkers > 0 && n.Staleness == 0 {
+			return fmt.Errorf("scenario: network %q sets slowWorkers without staleness >= 1 (a slow worker lags at least one step)", n.Name)
+		}
+		if n.asyncEnabled() && (n.ModelDropRate != 0 || n.ModelRecoup != "") {
+			return fmt.Errorf("scenario: network %q combines asynchronous rounds (quorum/staleness/slowWorkers) with lossy model broadcasts (modelDropRate/modelRecoup)", n.Name)
+		}
 		wire, err := transport.ParseWireFormat(n.WireFormat)
 		if err != nil {
 			return fmt.Errorf("scenario: network %q: %w", n.Name, err)
@@ -363,6 +390,11 @@ func (n Network) protocol() (simnet.Protocol, error) {
 	default:
 		return 0, fmt.Errorf("scenario: network %q unknown protocol %q (want tcp|udp)", n.Name, n.Protocol)
 	}
+}
+
+// asyncEnabled reports whether this cell runs asynchronous rounds.
+func (n Network) asyncEnabled() bool {
+	return n.Quorum > 0 || n.Staleness > 0 || n.SlowWorkers > 0
 }
 
 // udpLinks resolves the -1 = "all workers" convention.
@@ -518,6 +550,45 @@ func ModelLossSmokeSpec() Spec {
 			{Name: "udp-model-lossy-stale", Backend: "udp", ModelDropRate: 0.1, ModelRecoup: "stale", Protocol: "udp"},
 			{Name: "udp-both-lossy-stale", Backend: "udp", DropRate: 0.1, Recoup: "fill-random",
 				ModelDropRate: 0.1, ModelRecoup: "stale", Protocol: "udp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     30,
+		Batch:     16,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// AsyncSmokeSpec returns the built-in asynchronous-round demonstration
+// campaign (cmd/scenario -builtin async-smoke): the udp-smoke cells swept
+// through the bounded-staleness quorum mode. A plain lockstep baseline, a
+// lockstep cell gated by the deterministic slow-worker schedule (every slot
+// still required, so a scheduled-dropped worker skips the whole round), and
+// quorum-6-of-7 cells with staleness bound τ=2 on all three backends — the
+// straggler contrast the async mode exists to show, read directly from the
+// report's async section (rounds/sec, admitted-stale and dropped-too-stale
+// per cell). A lossy-uplink async cell composes the quorum mode with 10%
+// gradient packet loss. Every cell stays byte-reproducible because the slow
+// schedule (ps.SlowSeed) is a pure function of (seed, step, worker) evaluated
+// at both endpoints.
+func AsyncSmokeSpec() Spec {
+	s := Spec{
+		Name:       "async-smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"median", "multi-krum"},
+		Attacks:    []string{AttackNone, "reversed", "non-finite"},
+		Clusters:   []Cluster{{Workers: 7, F: 1}},
+		Networks: []Network{
+			{Name: "lockstep-in-process"},
+			{Name: "lockstep-slow", Staleness: 2, SlowWorkers: 0.25},
+			{Name: "async-in-process", Quorum: 6, Staleness: 2, SlowWorkers: 0.25},
+			{Name: "async-tcp", Backend: "tcp", Quorum: 6, Staleness: 2, SlowWorkers: 0.25},
+			{Name: "async-udp", Backend: "udp", Quorum: 6, Staleness: 2, SlowWorkers: 0.25},
+			{Name: "async-udp-lossy", Backend: "udp", Quorum: 6, Staleness: 2, SlowWorkers: 0.25,
+				DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
 		},
 		Seeds:     []int64{1},
 		Steps:     30,

@@ -63,6 +63,11 @@ type ColumnEngine struct {
 	ctxs  []ColumnKernelCtx
 	netN  int
 	net   [][2]int
+	// nets caches the sorting network per column size: composite rules
+	// (generic BULYAN) cycle n every call as their candidate set shrinks,
+	// and rebuilding the network on each size change would break the
+	// zero-allocation contract.
+	nets [][][2]int
 }
 
 // ensure sizes the scratch for w workers over n-vector columns.
@@ -81,7 +86,13 @@ func (e *ColumnEngine) ensure(w, n int) {
 	if e.netN != n {
 		e.net = nil
 		if n <= maxSortNet {
-			e.net = SortNetPairs(n)
+			if e.nets == nil {
+				e.nets = make([][][2]int, maxSortNet+1)
+			}
+			if e.nets[n] == nil {
+				e.nets[n] = SortNetPairs(n)
+			}
+			e.net = e.nets[n]
 		}
 		e.netN = n
 	}
