@@ -8,12 +8,27 @@ ASYNC_SMOKE_OUT ?= /tmp/aggregathor-scenario-async-smoke.json
 
 BENCH_JSON_DIR ?= .
 
-.PHONY: all vet build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async bench-json ci clean
+.PHONY: all vet lint escape-check check build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async bench-json ci clean
 
 all: ci
 
 vet:
 	$(GO) vet ./...
+
+# Run the aggrevet determinism & hot-path suite (internal/analysis) over the
+# whole module. Findings are fixed or justified with //aggrevet: directives —
+# the build fails otherwise.
+lint:
+	$(GO) run ./cmd/aggrevet ./...
+
+# Diff the hot-path escape profile (go build -gcflags=-m on internal/gar and
+# internal/transport) against the committed baseline. Regenerate after an
+# intentional change with: $(GO) run ./cmd/aggrevet -escape -write
+escape-check:
+	$(GO) run ./cmd/aggrevet -escape
+
+# The default local gate: static checks, then build and tests.
+check: vet lint escape-check build test
 
 build:
 	$(GO) build ./...
@@ -77,7 +92,7 @@ smoke-async:
 bench-json:
 	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
-ci: vet build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async
+ci: vet lint escape-check build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async
 
 clean:
 	$(GO) clean ./...

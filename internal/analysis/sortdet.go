@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortDet flags sort.Slice on determinism-critical paths. sort.Slice is an
+// unstable sort: elements the comparator considers equal land in an order
+// that depends on the input permutation — which, after a map range or a
+// network race, is not reproducible. The fix is sort.SliceStable over a
+// deterministic input order, or a comparator that breaks every tie with a
+// total key (justified with //aggrevet:stable).
+var SortDet = &Analyzer{
+	Name:      "sortdet",
+	Directive: "stable",
+	Doc: "flags sort.Slice on result-bearing paths: unstable sorting turns " +
+		"comparator ties into input-order dependence; use sort.SliceStable " +
+		"or a total comparator key",
+	Run: runSortDet,
+}
+
+func runSortDet(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" || fn.Name() != "Slice" {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"sort.Slice is tie-unstable on a result path; use sort.SliceStable, or make the comparator a total order and justify with %sstable",
+				DirectivePrefix)
+			return true
+		})
+	}
+}

@@ -1,0 +1,59 @@
+// Package hotalloc is the hotalloc analyzer fixture: allocation sites
+// inside hot-path functions (AggregateInto, AppendPacket) fire; the same
+// shapes in cold functions, preallocated-capacity appends with a
+// justification, and literals written straight into append slots do not.
+package hotalloc
+
+type workspace struct {
+	picked []float64
+	out    []byte
+}
+
+type rule struct{}
+
+// AggregateInto is a hot workspace kernel by name.
+func (rule) AggregateInto(ws *workspace, grads [][]float64) []float64 {
+	scratch := make([]float64, len(grads)) // want `make in hot function AggregateInto allocates`
+	for i, g := range grads {
+		scratch[i] = g[0]
+	}
+	acc := &workspace{} // want `composite literal in hot function AggregateInto may escape and allocate`
+	_ = acc
+	cmp := func(i, j int) bool { return scratch[i] < scratch[j] } // want `func literal in hot function AggregateInto heap-allocates its captures`
+	_ = cmp
+	ws.picked = ws.picked[:0]
+	for _, g := range grads {
+		ws.picked = append(ws.picked, g[0]) // want `append in hot function AggregateInto may grow and allocate`
+	}
+	return ws.picked
+}
+
+type packet struct {
+	worker int
+	coords []float64
+}
+
+type codec struct{}
+
+// AppendPacket is the packet-encode hot path by name. The grow path is
+// justified (amortized arena growth), the literal rides an append slot.
+func (codec) AppendPacket(ws *workspace, pkts []packet, p []float64) []packet {
+	need := len(p) * 8
+	if cap(ws.out)-len(ws.out) < need {
+		//aggrevet:alloc arena grow path, amortized to zero over a campaign
+		grown := make([]byte, len(ws.out), len(ws.out)+need)
+		copy(grown, ws.out)
+		ws.out = grown
+	}
+	//aggrevet:alloc appends within the ensured scratch capacity
+	return append(pkts, packet{worker: 0, coords: p})
+}
+
+// ColdPath is not a hot function: identical shapes stay silent.
+func ColdPath(grads [][]float64) []float64 {
+	scratch := make([]float64, 0, len(grads))
+	for _, g := range grads {
+		scratch = append(scratch, g[0])
+	}
+	return scratch
+}

@@ -1,0 +1,80 @@
+// Package maporder is the maporder analyzer fixture: positive cases mirror
+// the shipped PR 3 flushAny bug (flushing partials in map order), negative
+// cases exercise the sorted-keys idiom, the clear idiom, slice ranges and
+// the //aggrevet:ordered justification.
+package maporder
+
+import "sort"
+
+type partial struct{ coords []float64 }
+
+// FlushAnyBug reproduces the PR 3 regression: the first flushable partial
+// is picked in map iteration order, so *which* gradient a deadline flush
+// recoups differs run to run.
+func FlushAnyBug(pending map[int]*partial) *partial {
+	for _, p := range pending { // want `range over map pending iterates in nondeterministic order`
+		if len(p.coords) > 0 {
+			return p
+		}
+	}
+	return nil
+}
+
+// SummaryBug prints standings in map order — the scenario report shape.
+func SummaryBug(standings map[string]int, out *[]string) {
+	for name := range standings { // want `range over map standings iterates in nondeterministic order`
+		*out = append(*out, name)
+	}
+}
+
+// SortedFlush is the compliant version: collect keys (exempt collection
+// loop), sort, then walk the slice.
+func SortedFlush(pending map[int]*partial) *partial {
+	keys := make([]int, 0, len(pending))
+	for k := range pending {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if p := pending[k]; len(p.coords) > 0 {
+			return p
+		}
+	}
+	return nil
+}
+
+// CollectPairs appends into TWO slices: more than the single collection
+// append, so the exemption does not apply and the range is flagged.
+func CollectPairs(m map[int]string) (ks []int, vs []string) {
+	for k, v := range m { // want `range over map m iterates in nondeterministic order`
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	return ks, vs
+}
+
+// Clear uses the order-independent delete idiom.
+func Clear(m map[int]*partial) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Justified carries an audit-trail annotation.
+func Justified(counters map[string]int) int {
+	total := 0
+	//aggrevet:ordered summing values is an order-independent reduction
+	for _, v := range counters {
+		total += v
+	}
+	return total
+}
+
+// SliceRange never triggers: slices iterate in index order.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,53 @@
+// Package seededrand is the seededrand analyzer fixture: global math/rand
+// draws and magic-literal seeds fire; seeds derived from *Seed helpers or
+// named seed values do not.
+package seededrand
+
+import "math/rand"
+
+// SamplerSeed stands in for the ps.*Seed helper family.
+func SamplerSeed(runSeed int64, worker int) int64 {
+	return runSeed + int64(worker)*31 + 1
+}
+
+// GlobalDraw uses the shared runtime-seeded stream — never reproducible.
+func GlobalDraw(n int) int {
+	return rand.Intn(n) // want `global rand.Intn draws from the shared runtime-seeded stream`
+}
+
+// GlobalShuffle also rides the global stream.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle draws from the shared runtime-seeded stream`
+}
+
+// MagicSeed bakes in a literal: nothing ties the stream to the run seed.
+func MagicSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `rand.NewSource seed 42 is not derived from the run seed`
+}
+
+// UnrelatedSeed derives the stream from a value that names no seed.
+func UnrelatedSeed(step int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(step) * 7919)) // want `rand.NewSource seed .* is not derived from the run seed`
+}
+
+// HelperSeed derives the stream from the *Seed helper family — compliant.
+func HelperSeed(runSeed int64, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(SamplerSeed(runSeed, worker)))
+}
+
+// NamedSeed derives the stream from a threaded config seed — compliant.
+func NamedSeed(cfg struct{ Seed int64 }, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed + int64(worker)*104729))
+}
+
+// Justified documents an intentionally unseeded stream.
+func Justified() *rand.Rand {
+	//aggrevet:seeded fixture-only: exercising the justification path
+	return rand.New(rand.NewSource(7))
+}
+
+// InstanceDraws on an explicit *rand.Rand are fine: the construction site
+// is where the seed was policed.
+func InstanceDraws(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

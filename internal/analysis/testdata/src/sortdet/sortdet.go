@@ -1,0 +1,42 @@
+// Package sortdet is the sortdet analyzer fixture: sort.Slice fires,
+// sort.SliceStable and justified total-order comparators do not.
+package sortdet
+
+import "sort"
+
+type standing struct {
+	name string
+	mean float64
+}
+
+// RankBug is the scenario-report shape: an unstable sort whose comparator
+// ties on equal means, leaving the order input-dependent.
+func RankBug(ranked []*standing) {
+	sort.Slice(ranked, func(i, j int) bool { // want `sort.Slice is tie-unstable on a result path`
+		return ranked[i].mean > ranked[j].mean
+	})
+}
+
+// RankStable uses the stable sort — compliant.
+func RankStable(ranked []*standing) {
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].mean > ranked[j].mean
+	})
+}
+
+// RankJustified keeps sort.Slice but documents comparator totality.
+func RankJustified(ranked []*standing) {
+	//aggrevet:stable names are unique, so the two-level comparator is a total order
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].mean != ranked[j].mean {
+			return ranked[i].mean > ranked[j].mean
+		}
+		return ranked[i].name < ranked[j].name
+	})
+}
+
+// PlainSorts on ordered element types are total by construction — fine.
+func PlainSorts(xs []int, ss []string) {
+	sort.Ints(xs)
+	sort.Strings(ss)
+}

@@ -1,0 +1,13 @@
+package wallclock
+
+import "time"
+
+// This file plays the role of a deadline/pacing seam (cluster's clock.go):
+// the suite test runs the analyzer with allowed.go on the wallclock
+// allowlist, so its reads carry no want expectations.
+
+// SeamNow is the allowlisted clock read.
+func SeamNow() time.Time { return time.Now() }
+
+// SeamSleep is the allowlisted pacing sleep.
+func SeamSleep(d time.Duration) { time.Sleep(d) }

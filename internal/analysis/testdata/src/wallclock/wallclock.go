@@ -1,0 +1,43 @@
+// Package wallclock is the wallclock analyzer fixture: wall-clock reads
+// fire; duration arithmetic, time-value methods and justified deadline
+// reads do not. The allowlist path is exercised separately by the suite
+// test (allowed.go is configured as an allowlisted file there).
+package wallclock
+
+import "time"
+
+// DeadlineBug mirrors PR 5's schedule memoization race: a result-path
+// branch keyed on host time.
+func DeadlineBug(results []float64) []float64 {
+	start := time.Now() // want `time.Now reads the wall clock`
+	out := results
+	if time.Since(start) > time.Millisecond { // want `time.Since reads the wall clock`
+		out = out[:0]
+	}
+	return out
+}
+
+// PacingBug sleeps on what should be a deterministic path.
+func PacingBug() {
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+// TimerBug arms host-clock timers.
+func TimerBug() {
+	t := time.NewTimer(time.Second) // want `time.NewTimer reads the wall clock`
+	defer t.Stop()
+	<-time.After(time.Millisecond) // want `time.After reads the wall clock`
+}
+
+// Justified is an annotated liveness bound: it decides when to stop
+// waiting, never what a round computes.
+func Justified() time.Time {
+	//aggrevet:wallclock liveness deadline only; the recouped slots are settled by the seeded schedule
+	return time.Now().Add(time.Second)
+}
+
+// DurationMath only manipulates durations and time values — fine.
+func DurationMath(deadline time.Time, d time.Duration) (time.Time, bool) {
+	later := deadline.Add(2 * d)
+	return later, later.After(deadline)
+}

@@ -44,7 +44,15 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("cluster: empty spec")
 	}
 	seen := map[string]string{}
-	for job, tasks := range s.Jobs {
+	// Validate jobs in sorted order so which violation is reported first —
+	// an error string that can reach campaign JSON — is deterministic.
+	jobs := make([]string, 0, len(s.Jobs))
+	for job := range s.Jobs {
+		jobs = append(jobs, job)
+	}
+	sort.Strings(jobs)
+	for _, job := range jobs {
+		tasks := s.Jobs[job]
 		if job == "" {
 			return fmt.Errorf("cluster: empty job name")
 		}
@@ -186,4 +194,17 @@ func Allocate(spec *Spec, policy PlacementPolicy, workers int, gpus map[string][
 	evDevs := devices(evJob, evTasks)
 	alloc["accuracy"] = evDevs[0]
 	return alloc, nil
+}
+
+// sortedIDs returns a worker map's keys in ascending order. Validation
+// walks Byzantine/Unresponsive maps through this helper so that which
+// violation is reported first — an error string that can reach campaign
+// JSON — never depends on Go's randomized map iteration order.
+func sortedIDs[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }

@@ -132,15 +132,15 @@ func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
 				cfg.GAR.Name(), info.F(), info.MinWorkers(), cfg.Workers)
 		}
 	}
-	for id, name := range cfg.Byzantine {
+	for _, id := range sortedIDs(cfg.Byzantine) {
 		if id < 0 || id >= cfg.Workers {
 			return nil, fmt.Errorf("cluster: Byzantine worker id %d outside [0, %d)", id, cfg.Workers)
 		}
-		if _, err := attack.New(name); err != nil {
+		if _, err := attack.New(cfg.Byzantine[id]); err != nil {
 			return nil, fmt.Errorf("cluster: worker %d: %w", id, err)
 		}
 	}
-	for id := range cfg.Unresponsive {
+	for _, id := range sortedIDs(cfg.Unresponsive) {
 		if id < 0 || id >= cfg.Workers {
 			return nil, fmt.Errorf("cluster: unresponsive worker id %d outside [0, %d)", id, cfg.Workers)
 		}
@@ -323,7 +323,7 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 		}
 		return m
 	}
-	timer := time.NewTimer(c.cfg.RoundTimeout)
+	timer := newRoundTimer(c.cfg.RoundTimeout)
 	defer timer.Stop()
 	for outstanding() > 0 {
 		select {
@@ -469,7 +469,7 @@ func (c *TCPCluster) workerFailure(readErr error) error {
 	select {
 	case err := <-c.workerErrs:
 		return err
-	case <-time.After(200 * time.Millisecond):
+	case <-failureReportWindow(200 * time.Millisecond):
 		return readErr
 	}
 }

@@ -238,7 +238,8 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 				cfg.GAR.Name(), info.F(), info.MinWorkers(), cfg.Workers)
 		}
 	}
-	for id, name := range cfg.Byzantine {
+	for _, id := range sortedIDs(cfg.Byzantine) {
+		name := cfg.Byzantine[id]
 		if id < 0 || id >= cfg.Workers {
 			return nil, fmt.Errorf("cluster: Byzantine worker id %d outside [0, %d)", id, cfg.Workers)
 		}
@@ -256,7 +257,7 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 			return nil, fmt.Errorf("cluster: informed attack %q requires exact honest-gradient oracles, which lossy model broadcasts (ModelDropRate %v) cannot provide", name, cfg.ModelDropRate)
 		}
 	}
-	for id := range cfg.Unresponsive {
+	for _, id := range sortedIDs(cfg.Unresponsive) {
 		if id < 0 || id >= cfg.Workers {
 			return nil, fmt.Errorf("cluster: unresponsive worker id %d outside [0, %d)", id, cfg.Workers)
 		}
@@ -653,9 +654,9 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 		}
 		return m
 	}
-	deadline := time.Now().Add(c.cfg.RoundTimeout)
+	deadline := roundDeadline(c.cfg.RoundTimeout)
 	for outstanding() > 0 {
-		remaining := time.Until(deadline)
+		remaining := untilDeadline(deadline)
 		if remaining <= 0 {
 			break
 		}

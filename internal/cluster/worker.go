@@ -152,7 +152,8 @@ func rejectInformedWithSlow(byzantine map[int]string, async ps.AsyncConfig) erro
 	if async.SlowRate <= 0 {
 		return nil
 	}
-	for id, name := range byzantine {
+	for _, id := range sortedIDs(byzantine) {
+		name := byzantine[id]
 		atk, err := attack.New(name)
 		if err != nil {
 			continue // reported by the caller's own attack validation

@@ -109,7 +109,7 @@ func Experiments() []Experiment {
 			FlopsPerSample: nn.CIFARCNNFlopsPerSample,
 		},
 	}
-	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	sort.SliceStable(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps
 }
 
@@ -679,14 +679,3 @@ func ThroughputScan(aggregator string, f int, workerCounts []int, dim int, flops
 	return out
 }
 
-// Wait is a tiny helper for examples that poll a condition with a deadline.
-func Wait(cond func() bool, timeout, poll time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return true
-		}
-		time.Sleep(poll)
-	}
-	return cond()
-}

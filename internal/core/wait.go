@@ -1,0 +1,21 @@
+package core
+
+import "time"
+
+// This file is core's wall-clock seam and the only core file on aggrevet's
+// wallclock allowlist. Wait never touches a result path: it is a
+// convenience for examples and deploy tooling that poll an external
+// condition (a socket opening, a checkpoint appearing) with a liveness
+// bound.
+
+// Wait is a tiny helper for examples that poll a condition with a deadline.
+func Wait(cond func() bool, timeout, poll time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(poll)
+	}
+	return cond()
+}

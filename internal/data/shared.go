@@ -20,10 +20,10 @@ type SharedBatch struct {
 func (s SharedBatch) GroupBatch(group, step, batch int, seed int64) (*tensor.Matrix, []int) {
 	// Mix the coordinates into one seed; SplitMix-style constants keep
 	// adjacent (group, step) pairs uncorrelated.
-	mixed := uint64(seed)
-	mixed = mixed*0x9E3779B97F4A7C15 + uint64(group)
-	mixed = mixed*0xBF58476D1CE4E5B9 + uint64(step)
-	rng := rand.New(rand.NewSource(int64(mixed)))
+	mixedSeed := uint64(seed)
+	mixedSeed = mixedSeed*0x9E3779B97F4A7C15 + uint64(group)
+	mixedSeed = mixedSeed*0xBF58476D1CE4E5B9 + uint64(step)
+	rng := rand.New(rand.NewSource(int64(mixedSeed)))
 	idx := make([]int, batch)
 	for i := range idx {
 		idx[i] = rng.Intn(s.DS.Len())

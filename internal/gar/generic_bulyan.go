@@ -68,6 +68,7 @@ func (b *GenericBulyan) AggregateInto(ws *Workspace, grads []tensor.Vector) (ten
 	}
 	theta := n - 2*f
 	remaining := ws.ensureRemaining(n)
+	//aggrevet:alloc appends into ensureRemaining capacity; 0 steady-state allocs pinned by TestWorkspaceZeroSteadyStateAllocs
 	remaining = append(remaining, grads...)
 	selected := ws.ensurePicked(theta)
 	inner := ws.ensureInner()
@@ -91,10 +92,13 @@ func (b *GenericBulyan) AggregateInto(ws *Workspace, grads []tensor.Vector) (ten
 		if best < 0 {
 			best = 0 // every distance +Inf: all-poisoned remainder
 		}
+		//aggrevet:alloc appends into ensurePicked capacity; 0 steady-state allocs pinned by TestWorkspaceZeroSteadyStateAllocs
 		selected = append(selected, remaining[best])
+		//aggrevet:alloc element removal: the append writes into remaining's own backing array and never grows it
 		remaining = append(remaining[:best], remaining[best+1:]...)
 	}
 	beta := theta - 2*f
+	//aggrevet:alloc stack value receiver, never escapes (pinned by the -escape baseline)
 	helper := Bulyan{NumByzantine: f}
 	return helper.coordinateAggregateInto(ws, selected, beta), nil
 }

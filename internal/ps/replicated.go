@@ -157,6 +157,7 @@ func (c *ReplicatedCluster) Step() (*StepResult, error) {
 		counts[fp] = append(counts[fp], i)
 	}
 	var agreed tensor.Vector
+	//aggrevet:ordered quorum > 2n/3, so at most one fingerprint bucket can reach it; the pick is order-independent
 	for _, idxs := range counts {
 		if len(idxs) >= quorum {
 			agreed = proposals[idxs[0]]

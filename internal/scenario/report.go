@@ -56,6 +56,11 @@ func (c *Campaign) Summary() string {
 
 	for _, atk := range c.Spec.Attacks {
 		standings := map[string]*garStanding{}
+		// ranked is built in first-seen order (which follows the
+		// deterministic expansion order of c.Results), never by ranging
+		// the standings map, so the stable sort below starts from a
+		// reproducible permutation.
+		var ranked []*garStanding
 		for _, res := range c.Results {
 			if res.Run.Attack != atk {
 				continue
@@ -64,6 +69,7 @@ func (c *Campaign) Summary() string {
 			if !ok {
 				st = &garStanding{gar: res.Run.GAR, worstAcc: math.Inf(1)}
 				standings[res.Run.GAR] = st
+				ranked = append(ranked, st)
 			}
 			st.runs++
 			if res.Error != "" {
@@ -83,14 +89,10 @@ func (c *Campaign) Summary() string {
 				st.reachedTh++
 			}
 		}
-		if len(standings) == 0 {
+		if len(ranked) == 0 {
 			continue
 		}
-		ranked := make([]*garStanding, 0, len(standings))
-		for _, st := range standings {
-			ranked = append(ranked, st)
-		}
-		sort.Slice(ranked, func(i, j int) bool {
+		sort.SliceStable(ranked, func(i, j int) bool {
 			mi, mj := ranked[i].mean(), ranked[j].mean()
 			if mi != mj {
 				return mi > mj

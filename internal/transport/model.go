@@ -230,12 +230,14 @@ func (mc *ModelCollector) Next() (*ModelEvent, error) {
 				}
 				mc.queue = append(mc.queue, ModelEvent{Step: mc.expected, Lost: true})
 				target := -1
+				//aggrevet:ordered computes the minimum resolved step, an order-independent reduction
 				for s, p := range mc.pending {
 					if s > mc.expected && p.resolved() && (target < 0 || s < target) {
 						target = s
 					}
 				}
 				if target >= 0 {
+					//aggrevet:ordered every pre-target entry is discarded regardless of visit order
 					for s, p := range mc.pending {
 						if s < target {
 							if !p.resolved() {

@@ -380,6 +380,7 @@ func (r *UDPReceiver) flushAny() (*GradientMsg, error) {
 	for key := range r.asm.pending {
 		keys = append(keys, key)
 	}
+	//aggrevet:stable (worker, step) keys are unique, so the two-level comparator is a total order
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i][0] != keys[j][0] {
 			return keys[i][0] < keys[j][0]
