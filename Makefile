@@ -5,10 +5,11 @@ UDP_SMOKE_OUT ?= /tmp/aggregathor-scenario-udp-smoke.json
 MODEL_LOSS_SMOKE_OUT ?= /tmp/aggregathor-scenario-model-loss-smoke.json
 WIRE_SMOKE_OUT ?= /tmp/aggregathor-scenario-wire-smoke.json
 ASYNC_SMOKE_OUT ?= /tmp/aggregathor-scenario-async-smoke.json
+CHURN_SMOKE_OUT ?= /tmp/aggregathor-scenario-churn-smoke.json
 
 BENCH_JSON_DIR ?= .
 
-.PHONY: all vet lint escape-check check build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async bench-json ci clean
+.PHONY: all vet lint escape-check check build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async smoke-churn bench-json ci clean
 
 all: ci
 
@@ -46,6 +47,7 @@ fuzz:
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzDecodeGradient -fuzztime=20s
 	$(GO) test ./internal/transport/ -run=NONE -fuzz=FuzzReassembler -fuzztime=20s
 	$(GO) test ./internal/ps/ -run=NONE -fuzz=FuzzQuorumAdmission -fuzztime=20s
+	$(GO) test ./internal/ps/ -run=NONE -fuzz=FuzzMembershipTracker -fuzztime=20s
 
 # Run the built-in scenario campaign (4 GARs x 3 attacks + baseline x 2
 # network conditions) and write the deterministic results JSON.
@@ -86,16 +88,26 @@ smoke-async:
 	$(GO) run ./cmd/scenario -builtin async-smoke -out $(ASYNC_SMOKE_OUT).rerun
 	cmp $(ASYNC_SMOKE_OUT) $(ASYNC_SMOKE_OUT).rerun
 
+# Run the built-in worker-churn campaign (seeded crash/rejoin schedules with
+# reconnect backoff and below-bound degradation, on both socket backends plus
+# a lossy-uplink cell) twice and require byte-identical JSON: every churn
+# counter is a pure function of the seed, never of socket timing.
+smoke-churn:
+	$(GO) run ./cmd/scenario -builtin churn-smoke -out $(CHURN_SMOKE_OUT)
+	$(GO) run ./cmd/scenario -builtin churn-smoke -out $(CHURN_SMOKE_OUT).rerun
+	cmp $(CHURN_SMOKE_OUT) $(CHURN_SMOKE_OUT).rerun
+
 # Time the GAR kernel engine (fresh + workspace aggregation, distance
 # schedules) and write BENCH_aggregation.json — the perf trajectory to diff
 # across commits on the same machine.
 bench-json:
 	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
-ci: vet lint escape-check build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async
+ci: vet lint escape-check build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async smoke-churn
 
 clean:
 	$(GO) clean ./...
 	rm -f $(SMOKE_OUT) $(TCP_SMOKE_OUT) $(UDP_SMOKE_OUT) $(MODEL_LOSS_SMOKE_OUT) \
 		$(WIRE_SMOKE_OUT) $(WIRE_SMOKE_OUT).rerun \
-		$(ASYNC_SMOKE_OUT) $(ASYNC_SMOKE_OUT).rerun
+		$(ASYNC_SMOKE_OUT) $(ASYNC_SMOKE_OUT).rerun \
+		$(CHURN_SMOKE_OUT) $(CHURN_SMOKE_OUT).rerun

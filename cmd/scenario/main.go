@@ -5,6 +5,7 @@
 //	go run ./cmd/scenario -builtin tcp-smoke   # socket-distributed smoke sweep
 //	go run ./cmd/scenario -builtin udp-smoke   # lossy-datagram smoke sweep
 //	go run ./cmd/scenario -builtin wire-smoke  # float64-vs-float32 wire sweep
+//	go run ./cmd/scenario -builtin churn-smoke # worker crash/rejoin sweep
 //	go run ./cmd/scenario -spec sweep.json \
 //	  -out results.json                        # spec file in, JSON out
 //	go run ./cmd/scenario -dump-spec           # print the smoke spec as JSON
@@ -31,7 +32,7 @@ import (
 func main() {
 	var (
 		specPath = flag.String("spec", "", "campaign spec JSON file (empty = a built-in campaign, see -builtin)")
-		builtin  = flag.String("builtin", "smoke", "built-in campaign used when -spec is empty: smoke | tcp-smoke | udp-smoke | wire-smoke | model-loss-smoke | async-smoke")
+		builtin  = flag.String("builtin", "smoke", "built-in campaign used when -spec is empty: smoke | tcp-smoke | udp-smoke | wire-smoke | model-loss-smoke | async-smoke | churn-smoke")
 		outPath  = flag.String("out", "", "write campaign results JSON to this file (empty = no JSON output)")
 		summary  = flag.Bool("summary", true, "print the per-attack GAR ranking summary")
 		parallel = flag.Int("parallel", 0, "override the spec's worker-pool size (0 = spec/NumCPU)")
@@ -48,7 +49,7 @@ func main() {
 			exps = append(exps, e.Name)
 		}
 		fmt.Printf("experiments: %s\n", strings.Join(exps, ", "))
-		fmt.Printf("networks:    backend in-process|tcp|udp, udpLinks (-1 = all), dropRate [0,1), recoup drop-gradient|fill-nan|fill-random, modelDropRate [0,1), modelRecoup skip|stale, wireFormat float64|float32, quorum, staleness, slowWorkers [0,1), protocol tcp|udp, rttMicros\n")
+		fmt.Printf("networks:    backend in-process|tcp|udp, udpLinks (-1 = all), dropRate [0,1), recoup drop-gradient|fill-nan|fill-random, modelDropRate [0,1), modelRecoup skip|stale, wireFormat float64|float32, quorum, staleness, slowWorkers [0,1), churn {rate [0,1), downSteps, maxRejoins}, protocol tcp|udp, rttMicros\n")
 		return
 	}
 
@@ -112,8 +113,11 @@ func resolveSpec(path, builtin string) (*scenario.Spec, error) {
 	case "async-smoke":
 		s := scenario.AsyncSmokeSpec()
 		return &s, nil
+	case "churn-smoke":
+		s := scenario.ChurnSmokeSpec()
+		return &s, nil
 	default:
-		return nil, fmt.Errorf("unknown built-in campaign %q (want smoke|tcp-smoke|udp-smoke|wire-smoke|model-loss-smoke|async-smoke)", builtin)
+		return nil, fmt.Errorf("unknown built-in campaign %q (want smoke|tcp-smoke|udp-smoke|wire-smoke|model-loss-smoke|async-smoke|churn-smoke)", builtin)
 	}
 }
 

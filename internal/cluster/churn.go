@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"aggregathor/internal/attack"
+	"aggregathor/internal/ps"
+	"aggregathor/internal/tensor"
+	"aggregathor/internal/transport"
+)
+
+// Worker churn plumbing shared by both socket backends: the bounded
+// retry/backoff reconnect dialers a crashed worker comes back through, the
+// TCP rejoin handshake frame, and the churn-specific validation guards.
+// The schedule itself (who crashes when, who rejoins when) lives in
+// ps.ChurnConfig / ps.MembershipTracker and is evaluated at both endpoints;
+// nothing here draws randomness.
+
+// Reconnect backoff ladder: a deterministic doubling schedule from
+// reconnectBaseDelay, capped at reconnectMaxDelay, for at most
+// reconnectMaxAttempts dials. On the scheduled path the first dial succeeds
+// (the server's listener outlives every scheduled downtime), so the ladder
+// only pays out when something is genuinely wrong — and then it terminates
+// loudly instead of retrying forever.
+const (
+	reconnectMaxAttempts = 5
+	reconnectBaseDelay   = 10 * time.Millisecond
+	reconnectMaxDelay    = 500 * time.Millisecond
+)
+
+// dialTCPWithBackoff dials the server through the bounded backoff ladder and
+// reports how many attempts the connect took — the count the rejoin
+// handshake carries to the server's MembershipTracker.
+func dialTCPWithBackoff(addr string, codec transport.Codec) (*transport.TCPConn, int, error) {
+	var lastErr error
+	delay := reconnectBaseDelay
+	for attempt := 1; attempt <= reconnectMaxAttempts; attempt++ {
+		conn, err := transport.DialTCP(addr, codec)
+		if err == nil {
+			return conn, attempt, nil
+		}
+		lastErr = err
+		if attempt < reconnectMaxAttempts {
+			reconnectPause(delay)
+			delay *= 2
+			if delay > reconnectMaxDelay {
+				delay = reconnectMaxDelay
+			}
+		}
+	}
+	return nil, reconnectMaxAttempts, fmt.Errorf("cluster: reconnect to %s failed after %d attempts (backoff %v doubling to %v): %w",
+		addr, reconnectMaxAttempts, reconnectBaseDelay, reconnectMaxDelay, lastErr)
+}
+
+// dialUDPWithBackoff is dialTCPWithBackoff's datagram twin: it re-dials the
+// worker's gradient sender toward the server's gradient endpoint. UDP
+// "connects" locally, so on any healthy host the first attempt succeeds —
+// the ladder guards against transient local socket exhaustion.
+func dialUDPWithBackoff(addr string, codec transport.Codec, mtu int) (*transport.UDPSender, int, error) {
+	var lastErr error
+	delay := reconnectBaseDelay
+	for attempt := 1; attempt <= reconnectMaxAttempts; attempt++ {
+		// Gradient loss is injected by the shared schedule, not the
+		// sender's own rng: drop rate 0, as on the Start dial path.
+		send, err := transport.DialUDP(addr, codec, mtu, 0, 0)
+		if err == nil {
+			return send, attempt, nil
+		}
+		lastErr = err
+		if attempt < reconnectMaxAttempts {
+			reconnectPause(delay)
+			delay *= 2
+			if delay > reconnectMaxDelay {
+				delay = reconnectMaxDelay
+			}
+		}
+	}
+	return nil, reconnectMaxAttempts, fmt.Errorf("cluster: reconnect gradient sender to %s failed after %d attempts (backoff %v doubling to %v): %w",
+		addr, reconnectMaxAttempts, reconnectBaseDelay, reconnectMaxDelay, lastErr)
+}
+
+// rejoinHello builds the handshake frame a reconnecting TCP worker sends
+// first on its fresh connection: its id, the step it is scheduled to rejoin
+// at, and (in the Loss field) how many dial attempts the reconnect took.
+// The gradient payload is a 1-coordinate placeholder — the server reads the
+// metadata and discards the frame; it never reaches aggregation.
+func rejoinHello(worker, rejoinStep, attempts int) *transport.GradientMsg {
+	return &transport.GradientMsg{
+		Worker: worker,
+		Step:   rejoinStep,
+		Loss:   float64(attempts),
+		Grad:   tensor.Vector{0},
+	}
+}
+
+// churnParticipates reports whether a phase submits a gradient this round
+// (live or rejoining). Crashed and down workers' slots are dropped by
+// design: never awaited, never recouped — the churn twin of the async
+// schedule's too-stale drop.
+func churnParticipates(p ps.ChurnPhase) bool {
+	return p == ps.ChurnLive || p == ps.ChurnRejoin
+}
+
+// rejectInformedWithChurn enforces the informed-attack × churn-schedule
+// incompatibility at cluster construction: an informed attack recomputes the
+// honest workers' gradients from the run seed assuming every peer samples
+// once per round — a churn schedule breaks that oracle, because a crashed
+// honest worker's sampler stream pauses while it is down and the shared-seed
+// replica cannot track membership (mirroring rejectInformedWithSlow and the
+// informed × lossy-model-broadcast rule).
+func rejectInformedWithChurn(byzantine map[int]string, churn ps.ChurnConfig) error {
+	if !churn.Enabled() {
+		return nil
+	}
+	for _, id := range sortedIDs(byzantine) {
+		name := byzantine[id]
+		atk, err := attack.New(name)
+		if err != nil {
+			continue // reported by the caller's own attack validation
+		}
+		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
+			return fmt.Errorf("cluster: attack %q on worker %d requires recomputing honest gradients, incompatible with a churn schedule (rate %v): the shared-seed oracle cannot track membership",
+				name, id, churn.Rate)
+		}
+	}
+	return nil
+}

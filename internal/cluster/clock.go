@@ -33,3 +33,11 @@ func newRoundTimer(timeout time.Duration) *time.Timer {
 func failureReportWindow(d time.Duration) <-chan time.Time {
 	return time.After(d)
 }
+
+// reconnectPause sleeps one rung of the reconnect backoff ladder — pacing
+// between a crashed worker's dial attempts. Liveness only: which rounds a
+// worker misses is decided by the churn schedule (ps.ChurnSeed), never by
+// how long a reconnect took.
+func reconnectPause(d time.Duration) {
+	time.Sleep(d)
+}

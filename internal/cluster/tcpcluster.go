@@ -72,6 +72,21 @@ type TCPClusterConfig struct {
 	// knows which step tag every slot will carry — a round settles the
 	// moment the scheduled quorum is in, with no deadline involved.
 	Async ps.AsyncConfig
+	// Churn configures the deterministic worker crash/rejoin schedule
+	// (ps.ChurnSeed), evaluated at both endpoints: a scheduled worker
+	// receives the broadcast, tears its connection down without
+	// submitting, and reconnects through the backoff dialer at its
+	// scheduled rejoin round — the server's MembershipTracker knows which
+	// slots can never arrive and settles rounds without deadline waits.
+	// Incompatible with Async, Unresponsive and informed attacks.
+	Churn ps.ChurnConfig
+
+	// testAbruptClose (tests only) makes the given worker close its
+	// connection without submitting as soon as it receives the broadcast
+	// for the given step — the abrupt, unscheduled mid-round disconnect
+	// the dead-marking path must absorb by settling the round via recoup
+	// instead of wedging until RoundTimeout.
+	testAbruptClose map[int]int
 }
 
 // recvEvent is one message from a connection reader: a gradient, or the
@@ -107,8 +122,25 @@ type TCPCluster struct {
 	dead      map[int]bool
 	suspected map[int]bool
 
+	// Churn state (nil/unused when the schedule is disabled): the
+	// membership tracker, the handshake channel the churn accept loop
+	// feeds, a stash for handshakes that arrived ahead of their scheduled
+	// rejoin round, a stop signal for in-flight handshake readers, and the
+	// accept-loop waitgroup.
+	membership  *ps.MembershipTracker
+	rejoinCh    chan tcpRejoin
+	rejoinStash []tcpRejoin
+	stop        chan struct{}
+	acceptWG    sync.WaitGroup
+
 	started bool
 	closed  bool
+}
+
+// tcpRejoin pairs a freshly accepted reconnect with its handshake frame.
+type tcpRejoin struct {
+	conn  *transport.TCPConn
+	hello *transport.GradientMsg
 }
 
 var _ ps.Trainer = (*TCPCluster)(nil)
@@ -151,6 +183,21 @@ func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
 	if err := rejectInformedWithSlow(cfg.Byzantine, cfg.Async); err != nil {
 		return nil, err
 	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Churn.Enabled() {
+		if cfg.Async.Enabled() {
+			return nil, fmt.Errorf("cluster: %w (quorum %d with churn rate %v)",
+				ps.ErrChurnAsync, cfg.Async.Quorum, cfg.Churn.Rate)
+		}
+		if ids := sortedIDs(cfg.Unresponsive); len(ids) > 0 {
+			return nil, fmt.Errorf("cluster: unresponsive worker %d cannot compose with churn: it never identifies on the wire, so a scheduled teardown cannot be told from a failure", ids[0])
+		}
+		if err := rejectInformedWithChurn(cfg.Byzantine, cfg.Churn); err != nil {
+			return nil, err
+		}
+	}
 	c := &TCPCluster{
 		cfg:        cfg,
 		server:     cfg.ModelFactory(),
@@ -158,6 +205,11 @@ func NewTCPCluster(cfg TCPClusterConfig) (*TCPCluster, error) {
 		dead:       map[int]bool{},
 		suspected:  map[int]bool{},
 		ws:         gar.NewWorkspace(),
+	}
+	if cfg.Churn.Enabled() {
+		c.membership = ps.NewMembershipTracker(cfg.Churn, cfg.Seed, cfg.Workers)
+		c.rejoinCh = make(chan tcpRejoin, cfg.Workers)
+		c.stop = make(chan struct{})
 	}
 	c.params = c.server.ParamsVector()
 	return c, nil
@@ -222,23 +274,64 @@ func (c *TCPCluster) Start() error {
 	// Step slots them by self-declared worker id.
 	c.inbox = make(chan recvEvent, 2*c.cfg.Workers)
 	for _, conn := range c.conns {
-		c.readerWG.Add(1)
-		go func(conn *transport.TCPConn) {
-			defer c.readerWG.Done()
-			worker := -1
-			for {
-				msg, err := conn.RecvGradient()
-				if err != nil {
-					c.inbox <- recvEvent{worker: worker, err: err}
-					return
-				}
-				worker = msg.Worker
-				c.inbox <- recvEvent{msg: msg, worker: msg.Worker}
-			}
-		}(conn)
+		c.startReader(conn, -1)
+	}
+	if c.cfg.Churn.Enabled() {
+		c.acceptRejoins()
 	}
 	c.started = true
 	return nil
+}
+
+// startReader launches the persistent reader for one connection. worker is
+// the id the connection is already known to speak for (-1 for the initial
+// anonymous accepts; the rejoin handshake identifies reconnects up front).
+func (c *TCPCluster) startReader(conn *transport.TCPConn, worker int) {
+	c.readerWG.Add(1)
+	go func() {
+		defer c.readerWG.Done()
+		for {
+			msg, err := conn.RecvGradient()
+			if err != nil {
+				c.inbox <- recvEvent{worker: worker, err: err}
+				return
+			}
+			worker = msg.Worker
+			c.inbox <- recvEvent{msg: msg, worker: msg.Worker}
+		}
+	}()
+}
+
+// acceptRejoins keeps the listener accepting after startup (churn only): a
+// crashed worker dials back through the backoff ladder whenever its schedule
+// says, sends the rejoin handshake as its first frame, and the connection is
+// handed to Step — which admits it through the MembershipTracker at the
+// scheduled rejoin round. The loop exits when Close releases the listener.
+func (c *TCPCluster) acceptRejoins() {
+	c.acceptWG.Add(1)
+	go func() {
+		defer c.acceptWG.Done()
+		for {
+			conn, err := c.ln.Accept()
+			if err != nil {
+				return // listener closed: shutdown
+			}
+			c.acceptWG.Add(1)
+			go func() {
+				defer c.acceptWG.Done()
+				hello, err := conn.RecvGradient()
+				if err != nil {
+					conn.Close()
+					return
+				}
+				select {
+				case c.rejoinCh <- tcpRejoin{conn: conn, hello: hello}:
+				case <-c.stop:
+					conn.Close()
+				}
+			}()
+		}
+	}()
 }
 
 // abortStart tears a failed startup down completely: accepted connections
@@ -280,6 +373,22 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 		}
 	}
 
+	// Churn schedule: the same ps.ChurnSeed evaluation the workers
+	// perform. Scheduled rejoins are admitted before the broadcast so a
+	// reconnected worker receives this round's model; crashed and down
+	// workers' slots are dropped by design — never awaited, never
+	// recouped.
+	var phases []ps.ChurnPhase
+	if c.membership != nil {
+		phases = c.membership.BeginRound(c.step)
+		if err := c.admitRejoins(); err != nil {
+			return nil, err
+		}
+		res.Crashes = c.membership.RoundCrashes()
+		res.Rejoins = c.membership.RoundRejoins()
+		res.ReconnectAttempts = c.membership.RoundReconnectAttempts()
+	}
+
 	// Broadcast phase (parallel sends). Suspected workers are included — a
 	// straggler that recovers can rejoin the round. Sends to dead
 	// connections fail harmlessly; their readers already reported.
@@ -317,6 +426,9 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 			if expect != nil && expect[id] < 0 {
 				continue // scheduled too-stale: the slot will never fill
 			}
+			if phases != nil && !churnParticipates(phases[id]) {
+				continue // scheduled crash/down: the slot will never fill
+			}
 			if !got[id] && !c.dead[id] && !c.suspected[id] {
 				m++
 			}
@@ -336,6 +448,13 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 					// not Byzantine behaviour to tolerate.
 					return nil, fmt.Errorf("cluster: worker connection lost before first gradient at step %d: %w",
 						c.step, c.workerFailure(ev.err))
+				}
+				if c.membership != nil && c.membership.Churned(ev.worker) {
+					// A scheduled teardown: the worker closed its side per
+					// the churn schedule (or its pre-crash connection's
+					// reader is winding down). Not a death — it rejoins on
+					// a fresh connection at its scheduled round.
+					continue
 				}
 				c.dead[ev.worker] = true
 				continue
@@ -390,6 +509,9 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 		if expect != nil && expect[id] < 0 {
 			continue // scheduled too-stale: dropped by design, never recouped
 		}
+		if phases != nil && !churnParticipates(phases[id]) {
+			continue // scheduled crash/down: dropped by design, never recouped
+		}
 		if v := c.recoupSlot(id); v != nil {
 			received = append(received, v)
 		}
@@ -421,6 +543,20 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 		return res, nil
 	}
 
+	// Below-bound gate: when churn shrinks live membership under the
+	// GAR's Byzantine safety bound (n_live < MinWorkers, e.g. 2f+3 for
+	// Krum-family rules), aggregating would be unsafe — the rule's
+	// resilience proof no longer holds for the configured f. The round is
+	// skipped explicitly, without calling the GAR, and counted.
+	if c.membership != nil {
+		if info, ok := c.cfg.GAR.(gar.ByzantineInfo); ok && c.membership.Live() < info.MinWorkers() {
+			res.BelowBound = true
+			res.Skipped = true
+			c.step++
+			return res, nil
+		}
+	}
+
 	// Aggregation + descent phase, mirroring the in-process Cluster: a
 	// round whose survivor count violates the GAR's quorum is skipped, not
 	// deadlocked.
@@ -438,6 +574,69 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 	c.server.SetParamsVector(c.params)
 	c.step++
 	return res, nil
+}
+
+// admitRejoins installs this round's scheduled reconnects before the
+// broadcast, so a rejoined worker receives the current model. A worker
+// dials back (and hands its handshake to the accept loop) the moment it
+// crashes, not at its rejoin round, so early handshakes wait in the stash;
+// a handshake that fails to appear by the round timeout is a loud error —
+// the schedule said the worker would be back.
+func (c *TCPCluster) admitRejoins() error {
+	stash := c.rejoinStash[:0]
+	for _, rj := range c.rejoinStash {
+		if rj.hello.Step < c.step {
+			rj.conn.Close()
+			return fmt.Errorf("cluster: stale rejoin handshake for worker %d (step %d) at step %d",
+				rj.hello.Worker, rj.hello.Step, c.step)
+		}
+		if rj.hello.Step == c.step {
+			if err := c.installRejoin(rj); err != nil {
+				return err
+			}
+			continue
+		}
+		stash = append(stash, rj)
+	}
+	c.rejoinStash = stash
+	if c.membership.PendingRejoins() == 0 {
+		return nil
+	}
+	timer := newRoundTimer(c.cfg.RoundTimeout)
+	defer timer.Stop()
+	for c.membership.PendingRejoins() > 0 {
+		select {
+		case rj := <-c.rejoinCh:
+			if rj.hello.Step > c.step {
+				c.rejoinStash = append(c.rejoinStash, rj)
+				continue
+			}
+			if err := c.installRejoin(rj); err != nil {
+				return err
+			}
+		case <-timer.C:
+			return fmt.Errorf("cluster: %d scheduled rejoin handshake(s) missing at step %d after %v",
+				c.membership.PendingRejoins(), c.step, c.cfg.RoundTimeout)
+		}
+	}
+	return nil
+}
+
+// installRejoin offers one handshake to the MembershipTracker and, on
+// admission, installs the fresh connection: it joins the broadcast set and
+// gets a persistent reader pre-identified by the handshake.
+func (c *TCPCluster) installRejoin(rj tcpRejoin) error {
+	hello := rj.hello
+	if v := c.membership.Admit(hello.Worker, hello.Step, int(hello.Loss)); v != ps.RejoinAdmit {
+		rj.conn.Close()
+		return fmt.Errorf("cluster: rejoin handshake for worker %d (step %d) rejected at step %d: %v",
+			hello.Worker, hello.Step, c.step, v)
+	}
+	delete(c.dead, hello.Worker)
+	delete(c.suspected, hello.Worker)
+	c.conns = append(c.conns, rj.conn)
+	c.startReader(rj.conn, hello.Worker)
+	return nil
 }
 
 // recoupSlot produces the stand-in gradient for a slot that missed the round
@@ -491,6 +690,9 @@ func (c *TCPCluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.stop != nil {
+		close(c.stop) // release hello goroutines blocked on rejoinCh
+	}
 	if !c.started {
 		if c.ln != nil {
 			c.ln.Close()
@@ -500,6 +702,9 @@ func (c *TCPCluster) Close() error {
 	for _, conn := range c.conns {
 		conn.Close()
 	}
+	for _, rj := range c.rejoinStash {
+		rj.conn.Close()
+	}
 	// Drain reader events until every reader has exited, so none blocks on
 	// a full inbox while shutting down; workers exit on the closed
 	// connection (post-shutdown read errors are expected, not surfaced).
@@ -508,14 +713,27 @@ func (c *TCPCluster) Close() error {
 		c.readerWG.Wait()
 		close(done)
 	}()
-	for {
+	for drained := false; !drained; {
 		select {
 		case <-c.inbox:
 		case <-done:
-			c.workerWG.Wait()
-			return c.ln.Close()
+			drained = true
 		}
 	}
+	err := c.ln.Close() // unblocks the rejoin accept loop, if any
+	c.acceptWG.Wait()
+	// Handshakes that arrived after the last admitted round still own live
+	// connections; hang those up so their workers' RecvModel returns.
+	for churnDrained := false; !churnDrained; {
+		select {
+		case rj := <-c.rejoinCh:
+			rj.conn.Close()
+		default:
+			churnDrained = true
+		}
+	}
+	c.workerWG.Wait()
+	return err
 }
 
 // workerSpec extracts the backend-independent worker description (shared
@@ -534,13 +752,17 @@ func (cfg *TCPClusterConfig) workerSpec() workerSpec {
 }
 
 // runTCPClusterWorker is the worker main loop: dial, then model→gradient
-// until the server hangs up.
+// until the server hangs up. Under a churn schedule the worker evaluates
+// the same seeded draws as the server: on a scheduled crash it tears the
+// socket down without a goodbye, dials back through the bounded backoff
+// ladder, and opens the fresh connection with a rejoin handshake the server
+// holds until the scheduled rejoin round.
 func runTCPClusterWorker(addr string, id int, cfg *TCPClusterConfig) error {
 	conn, err := transport.DialTCP(addr, cfg.Codec)
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	defer func() { conn.Close() }()
 	w, err := newClusterWorker(id, cfg.workerSpec())
 	if err != nil {
 		return err
@@ -549,6 +771,33 @@ func runTCPClusterWorker(addr string, id int, cfg *TCPClusterConfig) error {
 		model, err := conn.RecvModel()
 		if err != nil {
 			return nil // server hung up: normal termination
+		}
+		if cfg.Churn.Enabled() {
+			switch cfg.Churn.Phase(cfg.Seed, model.Step, id) {
+			case ps.ChurnCrash:
+				conn.Close() // abrupt teardown: no goodbye, no submission
+				if cfg.Churn.Permanent(cfg.Seed, model.Step, id) {
+					return nil // rejoin budget exhausted: gone for good
+				}
+				// Dial back immediately; the handshake waits server-side
+				// until the scheduled rejoin round admits it.
+				fresh, attempts, err := dialTCPWithBackoff(addr, cfg.Codec)
+				if err != nil {
+					return err
+				}
+				conn = fresh
+				hello := rejoinHello(id, model.Step+cfg.Churn.DownSteps, attempts)
+				if err := conn.SendGradient(hello); err != nil {
+					return err
+				}
+				continue
+			case ps.ChurnDown:
+				continue // defensive: a down worker holds no connection
+			}
+		}
+		if s, ok := cfg.testAbruptClose[id]; ok && model.Step == s {
+			conn.Close() // test hook: vanish between broadcast and submit
+			return nil
 		}
 		if cfg.Unresponsive[id] {
 			continue // consume the broadcast, never answer (crashed node)

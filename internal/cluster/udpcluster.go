@@ -113,6 +113,15 @@ type UDPClusterConfig struct {
 	// broadcasts, so an expected tag of -1 unambiguously means a scheduled
 	// drop that must never be recouped.
 	Async ps.AsyncConfig
+	// Churn configures the deterministic worker crash/rejoin schedule
+	// (ps.ChurnSeed, evaluated at both endpoints): a crashing worker closes
+	// its gradient sender abruptly and re-dials through the bounded backoff
+	// ladder at its scheduled rejoin round; the server, replaying the same
+	// schedule, drops crashed/down slots without waiting and skips rounds
+	// whose live membership falls under the GAR's safety bound. Churn
+	// requires a loss-free model channel (ModelDropRate 0) and is
+	// incompatible with asynchronous rounds and unresponsive workers.
+	Churn ps.ChurnConfig
 }
 
 // ModelRecoupPolicy selects what a worker does about a torn model broadcast
@@ -169,8 +178,14 @@ type UDPCluster struct {
 	modelRecvs   []*transport.UDPReceiver // per-worker model endpoints
 	modelSenders []*transport.UDPSender   // server → worker model channels
 	gradSenders  []*transport.UDPSender   // worker → server gradient channels
+	gradMu       sync.Mutex               // guards gradSenders slots (churn re-dials swap them)
 	workerWG     sync.WaitGroup
 	workerErrs   chan error
+
+	// membership replays the churn schedule server-side (nil without churn):
+	// phases per round, scheduled-rejoin admissions, and the crash/rejoin
+	// counters that flow into StepResult.
+	membership *ps.MembershipTracker
 
 	server *nn.Network
 	params tensor.Vector
@@ -271,6 +286,26 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 	if cfg.Async.Enabled() && cfg.ModelDropRate > 0 {
 		return nil, fmt.Errorf("cluster: asynchronous rounds need a loss-free model channel, got ModelDropRate %v (the slow schedule, not torn broadcasts, decides staleness)", cfg.ModelDropRate)
 	}
+	if err := cfg.Churn.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Churn.Enabled() {
+		if cfg.Async.Enabled() {
+			return nil, fmt.Errorf("cluster: %w (quorum %d with churn rate %v)",
+				ps.ErrChurnAsync, cfg.Async.EffectiveQuorum(cfg.Workers), cfg.Churn.Rate)
+		}
+		if cfg.ModelDropRate > 0 {
+			return nil, fmt.Errorf("cluster: %w (ModelDropRate %v with churn rate %v)",
+				ps.ErrChurnModelLoss, cfg.ModelDropRate, cfg.Churn.Rate)
+		}
+		if ids := sortedIDs(cfg.Unresponsive); len(ids) > 0 {
+			return nil, fmt.Errorf("cluster: unresponsive worker %d cannot follow a churn schedule (rate %v): it would neither crash nor rejoin on cue",
+				ids[0], cfg.Churn.Rate)
+		}
+		if err := rejectInformedWithChurn(cfg.Byzantine, cfg.Churn); err != nil {
+			return nil, err
+		}
+	}
 	c := &UDPCluster{
 		cfg:          cfg,
 		server:       cfg.ModelFactory(),
@@ -282,8 +317,20 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 	for i := range c.lastComplete {
 		c.lastComplete[i] = -1
 	}
+	if cfg.Churn.Enabled() {
+		c.membership = ps.NewMembershipTracker(cfg.Churn, cfg.Seed, cfg.Workers)
+	}
 	c.params = c.server.ParamsVector()
 	return c, nil
+}
+
+// setGradSender swaps worker id's gradient-sender slot — nil while the churn
+// schedule holds the worker down, a fresh backoff-dialled sender on rejoin —
+// so Close releases whichever socket the worker last held.
+func (c *UDPCluster) setGradSender(id int, s *transport.UDPSender) {
+	c.gradMu.Lock()
+	defer c.gradMu.Unlock()
+	c.gradSenders[id] = s
 }
 
 // workerSpec extracts the backend-independent worker description (shared
@@ -448,6 +495,30 @@ func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, s
 			return modelDropSchedule(c.cfg.Seed, step, w.id, pktCount, c.cfg.ModelDropRate)
 		}
 	}
+	if c.cfg.Churn.Enabled() {
+		// The server never broadcasts to a down worker, and the worker
+		// replays the same schedule — so down steps are fully-scheduled-away
+		// broadcasts the collector skips silently. Without this the collector
+		// would stash the rejoin broadcast as a future step and sit out the
+		// whole BroadcastTimeout waiting for a down-step broadcast that by
+		// construction never comes. Only BOUNDED downtime is scheduled away:
+		// a permanently-down worker's phase is ChurnDown for every later
+		// step, and skipping those would spin the collector's advance loop
+		// forever instead of letting the worker exit on its final crash
+		// event. (Churn composes with gradient loss only; the churn ×
+		// model-loss guard keeps ModelDropRate at zero here.)
+		allDropped := make([]bool, pktCount)
+		for i := range allDropped {
+			allDropped[i] = true
+		}
+		schedule = func(step int) []bool {
+			if c.cfg.Churn.Phase(c.cfg.Seed, step, w.id) == ps.ChurnDown &&
+				!c.cfg.Churn.Permanent(c.cfg.Seed, step, w.id) {
+				return allDropped
+			}
+			return nil
+		}
+	}
 	col := transport.NewModelCollector(mrecv, transport.ModelCollectorConfig{
 		Dim:              dim,
 		MTU:              c.cfg.MTU,
@@ -459,10 +530,41 @@ func (c *UDPCluster) runWorker(w *clusterWorker, mrecv *transport.UDPReceiver, s
 	lastStep := -1 // last complete model held (mirrors the server's lastComplete)
 	var lastParams tensor.Vector
 	var pktScratch []transport.Packet // split scratch, reused every round
+	churn := c.cfg.Churn.Enabled()
 	for {
 		ev, err := col.Next()
 		if err != nil {
 			return nil // socket closed by the server (or idle timeout): termination
+		}
+		if churn {
+			switch c.cfg.Churn.Phase(c.cfg.Seed, ev.Step, w.id) {
+			case ps.ChurnCrash:
+				// Scheduled crash: tear the gradient sender down abruptly,
+				// submitting nothing. The model endpoint stays bound — it is
+				// the worker's stable address — but the server, replaying
+				// the same schedule, stops broadcasting to it while down.
+				send.Close()
+				send = nil
+				c.setGradSender(w.id, nil)
+				if c.cfg.Churn.Permanent(c.cfg.Seed, ev.Step, w.id) {
+					return nil // rejoin budget exhausted: gone for good
+				}
+				continue
+			case ps.ChurnDown:
+				continue // defensive: no broadcast reaches a down worker
+			}
+			// Live or rejoining without a sender (the rejoin round itself,
+			// or recovery from a missed rejoin broadcast): re-dial through
+			// the bounded backoff ladder before submitting.
+			if send == nil {
+				fresh, _, err := dialUDPWithBackoff(c.recv.Addr(), c.cfg.Codec, c.cfg.MTU)
+				if err != nil {
+					return err
+				}
+				fresh.SetPacing(udpPaceBurst, udpPaceDelay)
+				send = fresh
+				c.setGradSender(w.id, fresh)
+			}
 		}
 		var model *transport.ModelMsg
 		switch {
@@ -526,6 +628,29 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 	// grow server memory.
 	asm.DropStale(c.step)
 
+	// Churn schedule: the same ps.ChurnSeed evaluation the workers perform.
+	// The gradient channel is connectionless, so there is no handshake to
+	// observe — scheduled rejoins are self-admitted through the tracker
+	// (attempts 1: on the scheduled path the backoff dialer's first attempt
+	// succeeds) and the verdict is asserted. Crashed and down workers' slots
+	// are dropped by design: never awaited, never recouped.
+	var phases []ps.ChurnPhase
+	if c.membership != nil {
+		phases = c.membership.BeginRound(c.step)
+		for id := 0; id < n; id++ {
+			if phases[id] != ps.ChurnRejoin {
+				continue
+			}
+			if v := c.membership.Admit(id, c.step, 1); v != ps.RejoinAdmit {
+				return nil, fmt.Errorf("cluster: scheduled rejoin of worker %d at step %d rejected: %v", id, c.step, v)
+			}
+			delete(c.suspected, id)
+		}
+		res.Crashes = c.membership.RoundCrashes()
+		res.Rejoins = c.membership.RoundRejoins()
+		res.ReconnectAttempts = c.membership.RoundReconnectAttempts()
+	}
+
 	dim := c.params.Dim()
 	per := c.cfg.Codec.CoordsPerPacket(c.cfg.MTU)
 	pktCount := c.cfg.Codec.PacketsPerTransfer(dim, c.cfg.MTU)
@@ -549,6 +674,12 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 	expectTag := make([]int, n)
 	for id := 0; id < n; id++ {
 		modelDrop[id] = modelDropSchedule(c.cfg.Seed, c.step, id, pktCount, c.cfg.ModelDropRate)
+		if phases != nil && !churnParticipates(phases[id]) {
+			// Crashed this round (receives the broadcast, submits nothing)
+			// or down (no broadcast at all): the slot can never fill.
+			expectTag[id] = -1
+			continue
+		}
 		if async {
 			// Asynchronous rounds: the slow schedule — not the (loss-free)
 			// model channel — decides each slot's tag: the current step for a
@@ -582,6 +713,9 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 		Worker: transport.ModelWorkerID, Step: c.step, Grad: c.params,
 	}, c.cfg.MTU)
 	for id, s := range c.modelSenders {
+		if phases != nil && phases[id] == ps.ChurnDown {
+			continue // down worker: no broadcast (a crashing one still gets its last)
+		}
 		if err := s.SendPackets(c.modelPktScratch, modelDrop[id]); err != nil {
 			return nil, fmt.Errorf("cluster: model broadcast to worker %d at step %d: %w", id, c.step, err)
 		}
@@ -628,6 +762,10 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 		}
 		if async && expectTag[id] < 0 {
 			dropped[id] = true
+			continue
+		}
+		if phases != nil && !churnParticipates(phases[id]) {
+			dropped[id] = true // scheduled crash/down: dropped by design, never recouped
 			continue
 		}
 		if v := c.recoupSlot(id); v != nil {
@@ -755,6 +893,20 @@ func (c *UDPCluster) Step() (*ps.StepResult, error) {
 		return res, nil
 	}
 
+	// Below-bound gate: when churn shrinks live membership under the GAR's
+	// Byzantine safety bound (n_live < MinWorkers, e.g. 2f+3 for the
+	// Krum family), aggregating would be unsafe — the rule's resilience
+	// proof no longer holds for the configured f. The round is skipped
+	// explicitly, without calling the GAR, and counted.
+	if c.membership != nil {
+		if info, ok := c.cfg.GAR.(gar.ByzantineInfo); ok && c.membership.Live() < info.MinWorkers() {
+			res.BelowBound = true
+			res.Skipped = true
+			c.step++
+			return res, nil
+		}
+	}
+
 	// Aggregation + descent phase, mirroring the TCP backend: a round whose
 	// survivor count violates the GAR's quorum is skipped, not deadlocked.
 	agg, err := gar.AggregateInto(c.ws, c.cfg.GAR, received)
@@ -859,8 +1011,14 @@ func (c *UDPCluster) Close() error {
 	for _, s := range c.modelSenders {
 		s.Close()
 	}
+	// Under churn a slot holds whichever sender the worker last dialled, or
+	// nil while the schedule had it down when the run ended.
+	c.gradMu.Lock()
 	for _, s := range c.gradSenders {
-		s.Close()
+		if s != nil {
+			s.Close()
+		}
 	}
+	c.gradMu.Unlock()
 	return c.recv.Close()
 }

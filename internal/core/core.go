@@ -221,6 +221,23 @@ type Config struct {
 	// breaches τ). Evaluated at both endpoints, so asynchronous runs stay a
 	// pure function of the seed.
 	SlowWorkers float64
+	// ChurnRate, when positive, enables the deterministic worker-churn
+	// schedule on the socket backends: each live worker draws a seeded
+	// per-(step, worker) crash probability, tears its sockets down
+	// abruptly when it fires, and rejoins ChurnDownSteps rounds later
+	// through the bounded-backoff dialer, at most ChurnMaxRejoins times
+	// before staying gone. Both endpoints replay the same ps.ChurnSeed
+	// schedule, so which rounds each worker misses — and every
+	// crash/rejoin counter — is a pure function of the seed. Requires
+	// backend "tcp" or "udp"; incompatible with asynchronous rounds and
+	// lossy model broadcasts (one unfillable slot must mean one thing).
+	ChurnRate float64
+	// ChurnDownSteps is how many rounds a crashed worker stays away
+	// before its scheduled rejoin (required > 0 when ChurnRate > 0).
+	ChurnDownSteps int
+	// ChurnMaxRejoins caps how many times one worker may rejoin; a crash
+	// past the cap is permanent (required > 0 when ChurnRate > 0).
+	ChurnMaxRejoins int
 	// Protocol switches the time model between TCP and UDP costing.
 	Protocol simnet.Protocol
 	// RTT overrides the simulated link round-trip time when positive
@@ -282,6 +299,18 @@ type Result struct {
 	// DroppedTooStale counts slots the asynchronous schedule dropped
 	// because the scheduled lag exceeded the staleness bound τ.
 	DroppedTooStale int
+	// Crashes counts scheduled worker crashes across the run (socket
+	// backends with churn enabled).
+	Crashes int
+	// Rejoins counts scheduled rejoins the membership tracker admitted.
+	Rejoins int
+	// ReconnectAttempts counts dial attempts rejoining workers spent in
+	// the bounded backoff ladder (equal to Rejoins on a loopback fabric
+	// where every first attempt lands).
+	ReconnectAttempts int
+	// BelowBoundRounds counts rounds skipped because churn left fewer
+	// live workers than the GAR's Byzantine-resilience bound n ≥ 2f+3.
+	BelowBoundRounds int
 	// ResumedFromStep is the checkpointed step index the run warm-started
 	// from (0 for a fresh run).
 	ResumedFromStep int
@@ -295,6 +324,12 @@ type Result struct {
 // shares.
 func (c *Config) asyncConfig() ps.AsyncConfig {
 	return ps.AsyncConfig{Quorum: c.Quorum, Staleness: c.Staleness, SlowRate: c.SlowWorkers}
+}
+
+// churnConfig maps the experiment-level churn knobs onto the parameter
+// service's ChurnConfig — the single translation both socket backends share.
+func (c *Config) churnConfig() ps.ChurnConfig {
+	return ps.ChurnConfig{Rate: c.ChurnRate, DownSteps: c.ChurnDownSteps, MaxRejoins: c.ChurnMaxRejoins}
 }
 
 // applyDefaults fills unset fields with the paper's evaluation defaults.
@@ -397,6 +432,27 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if cfg.Aggregator == "draco" || cfg.ServerReplicas > 1 {
 			return nil, errors.New("core: asynchronous rounds are not supported on the draco or replicated deployments")
+		}
+	}
+	// Worker churn exists only where there are real sockets to tear down:
+	// the in-process simulator has no connections to crash, and silently
+	// running a churn config churn-free would masquerade as the robustness
+	// sweep the caller asked for. The regime conflicts are re-checked by the
+	// cluster constructors; naming them here gives scenario cells the same
+	// loud failure without ever opening a socket.
+	if err := cfg.churnConfig().Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.churnConfig().Enabled() {
+		if cfg.Backend != BackendTCP && cfg.Backend != BackendUDP {
+			return nil, fmt.Errorf("core: worker churn (ChurnRate/ChurnDownSteps/ChurnMaxRejoins) needs backend %q or %q, got %q",
+				BackendTCP, BackendUDP, cfg.Backend)
+		}
+		if cfg.asyncConfig().Enabled() {
+			return nil, fmt.Errorf("core: %w", ps.ErrChurnAsync)
+		}
+		if cfg.ModelDropRate != 0 || cfg.ModelRecoup != cluster.ModelRecoupSkip {
+			return nil, fmt.Errorf("core: %w", ps.ErrChurnModelLoss)
 		}
 	}
 	// The wire format is a lossy-link property: only the udp backend and

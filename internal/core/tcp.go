@@ -45,6 +45,7 @@ func runTCP(cfg Config) (*Result, error) {
 				L1:           cfg.L1,
 				L2:           cfg.L2,
 				Async:        cfg.asyncConfig(),
+				Churn:        cfg.churnConfig(),
 			})
 		})
 }

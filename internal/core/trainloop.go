@@ -49,6 +49,12 @@ func runTraining(cfg Config, t ps.Trainer, test *data.Dataset, round simnet.Roun
 		res.StaleGradients += sr.Stale
 		res.AdmittedStale += sr.AdmittedStale
 		res.DroppedTooStale += sr.DroppedStale
+		res.Crashes += sr.Crashes
+		res.Rejoins += sr.Rejoins
+		res.ReconnectAttempts += sr.ReconnectAttempts
+		if sr.BelowBound {
+			res.BelowBoundRounds++
+		}
 		if sr.Hijacked {
 			res.Hijacked = true
 		}

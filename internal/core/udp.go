@@ -50,6 +50,7 @@ func runUDP(cfg Config) (*Result, error) {
 				L1:            cfg.L1,
 				L2:            cfg.L2,
 				Async:         cfg.asyncConfig(),
+				Churn:         cfg.churnConfig(),
 			})
 		})
 }

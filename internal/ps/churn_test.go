@@ -1,0 +1,311 @@
+package ps
+
+import (
+	"testing"
+)
+
+func TestChurnConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ChurnConfig
+		ok   bool
+	}{
+		{"zero value", ChurnConfig{}, true},
+		{"enabled", ChurnConfig{Rate: 0.1, DownSteps: 2, MaxRejoins: 3}, true},
+		{"enabled no rejoins", ChurnConfig{Rate: 0.1, DownSteps: 1}, true},
+		{"negative rate", ChurnConfig{Rate: -0.1, DownSteps: 1}, false},
+		{"rate one", ChurnConfig{Rate: 1, DownSteps: 1}, false},
+		{"enabled zero downSteps", ChurnConfig{Rate: 0.1}, false},
+		{"negative downSteps", ChurnConfig{Rate: 0.1, DownSteps: -1}, false},
+		{"negative maxRejoins", ChurnConfig{Rate: 0.1, DownSteps: 1, MaxRejoins: -1}, false},
+		{"knobs without rate", ChurnConfig{DownSteps: 2}, false},
+		{"rejoins without rate", ChurnConfig{MaxRejoins: 1}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+// TestChurnSchedulePureFunction pins the schedule's structural invariants
+// over a long horizon: determinism, no crashes at step 0, downtime of
+// exactly DownSteps rounds, rejoin budgets enforced, and — the dead-fixture
+// guard — that the chosen rate actually exercises crashes, rejoins and a
+// permanent departure.
+func TestChurnSchedulePureFunction(t *testing.T) {
+	cfg := ChurnConfig{Rate: 0.15, DownSteps: 3, MaxRejoins: 2}
+	const seed, workers, steps = 29, 7, 300
+
+	crashes, rejoins, permanents := 0, 0, 0
+	for w := 0; w < workers; w++ {
+		if got := cfg.Phase(seed, 0, w); got != ChurnLive {
+			t.Fatalf("worker %d: phase at step 0 = %v, want live", w, got)
+		}
+		lastCrash := -1
+		rejoinsSeen := 0
+		for s := 0; s <= steps; s++ {
+			phase := cfg.Phase(seed, s, w)
+			if phase != cfg.Phase(seed, s, w) {
+				t.Fatalf("worker %d step %d: phase not deterministic", w, s)
+			}
+			switch phase {
+			case ChurnCrash:
+				crashes++
+				if lastCrash >= 0 && s < lastCrash+cfg.DownSteps {
+					t.Fatalf("worker %d: crash at %d inside downtime of crash at %d", w, s, lastCrash)
+				}
+				lastCrash = s
+			case ChurnRejoin:
+				rejoins++
+				rejoinsSeen++
+				if lastCrash < 0 || s != lastCrash+cfg.DownSteps {
+					t.Fatalf("worker %d: rejoin at %d, want exactly %d after crash at %d",
+						w, s, cfg.DownSteps, lastCrash)
+				}
+				if rejoinsSeen > cfg.MaxRejoins {
+					t.Fatalf("worker %d: %d rejoins exceed budget %d", w, rejoinsSeen, cfg.MaxRejoins)
+				}
+			case ChurnDown:
+				if lastCrash < 0 {
+					t.Fatalf("worker %d: down at %d without a crash", w, s)
+				}
+			}
+		}
+		if cfg.Permanent(seed, steps, w) {
+			permanents++
+			if rejoinsSeen != cfg.MaxRejoins {
+				t.Fatalf("worker %d: permanent after %d rejoins, want budget %d spent",
+					w, rejoinsSeen, cfg.MaxRejoins)
+			}
+		}
+	}
+	if crashes == 0 || rejoins == 0 {
+		t.Fatalf("dead fixture: crashes=%d rejoins=%d — rate never exercised", crashes, rejoins)
+	}
+	if permanents == 0 {
+		t.Fatalf("dead fixture: no worker exhausted its rejoin budget over %d steps", steps)
+	}
+	if disabled := (ChurnConfig{}); disabled.Phase(seed, 5, 0) != ChurnLive {
+		t.Fatal("disabled churn must report every worker live")
+	}
+}
+
+// TestMembershipTrackerMatchesReplay cross-checks the tracker's incremental
+// state machine against the pure replay at every (step, worker).
+func TestMembershipTrackerMatchesReplay(t *testing.T) {
+	cfg := ChurnConfig{Rate: 0.2, DownSteps: 2, MaxRejoins: 1}
+	const seed, workers, steps = 71, 5, 120
+
+	tr := NewMembershipTracker(cfg, seed, workers)
+	for s := 0; s <= steps; s++ {
+		phases := tr.BeginRound(s)
+		live := 0
+		for w := 0; w < workers; w++ {
+			want := cfg.Phase(seed, s, w)
+			if phases[w] != want {
+				t.Fatalf("step %d worker %d: tracker phase %v, replay %v", s, w, phases[w], want)
+			}
+			if phases[w] == ChurnLive || phases[w] == ChurnRejoin {
+				live++
+			}
+			if phases[w] == ChurnRejoin {
+				if v := tr.Admit(w, s, 1); v != RejoinAdmit {
+					t.Fatalf("step %d worker %d: scheduled rejoin verdict %v", s, w, v)
+				}
+			}
+		}
+		if tr.Live() != live {
+			t.Fatalf("step %d: Live() = %d, want %d", s, tr.Live(), live)
+		}
+		if tr.PendingRejoins() != 0 {
+			t.Fatalf("step %d: %d rejoins still pending after admitting all", s, tr.PendingRejoins())
+		}
+	}
+	if tr.Crashes() == 0 || tr.Rejoins() == 0 {
+		t.Fatalf("dead fixture: crashes=%d rejoins=%d", tr.Crashes(), tr.Rejoins())
+	}
+	if tr.ReconnectAttempts() != tr.Rejoins() {
+		t.Fatalf("scheduled path: reconnectAttempts %d != rejoins %d", tr.ReconnectAttempts(), tr.Rejoins())
+	}
+}
+
+// TestMembershipTrackerAdmission scripts every rejoin verdict against a
+// schedule walked to its first rejoin round.
+func TestMembershipTrackerAdmission(t *testing.T) {
+	cfg := ChurnConfig{Rate: 0.25, DownSteps: 2, MaxRejoins: 2}
+	const seed, workers = 17, 6
+
+	tr := NewMembershipTracker(cfg, seed, workers)
+	rejoinStep, rejoinWorker := -1, -1
+	for s := 0; s <= 200 && rejoinStep < 0; s++ {
+		phases := tr.BeginRound(s)
+		for w, p := range phases {
+			if p == ChurnRejoin {
+				rejoinStep, rejoinWorker = s, w
+				break
+			}
+		}
+	}
+	if rejoinStep < 0 {
+		t.Fatal("dead fixture: no rejoin within 200 steps")
+	}
+
+	if v := tr.Admit(-1, rejoinStep, 1); v != RejoinRejectUnknownWorker {
+		t.Fatalf("negative id: %v", v)
+	}
+	if v := tr.Admit(workers, rejoinStep, 1); v != RejoinRejectUnknownWorker {
+		t.Fatalf("out-of-range id: %v", v)
+	}
+	if v := tr.Admit(rejoinWorker, rejoinStep-1, 1); v != RejoinRejectWrongStep {
+		t.Fatalf("stale step: %v", v)
+	}
+	if v := tr.Admit(rejoinWorker, rejoinStep, 0); v != RejoinRejectBadAttempts {
+		t.Fatalf("zero attempts: %v", v)
+	}
+	liveWorker := -1
+	for w := 0; w < workers; w++ {
+		if w != rejoinWorker && cfg.Phase(seed, rejoinStep, w) == ChurnLive {
+			liveWorker = w
+			break
+		}
+	}
+	if liveWorker >= 0 {
+		if v := tr.Admit(liveWorker, rejoinStep, 1); v != RejoinRejectNotScheduled {
+			t.Fatalf("live worker rejoin: %v", v)
+		}
+	}
+	if tr.Rejoins() != 0 || tr.ReconnectAttempts() != 0 {
+		t.Fatalf("rejections mutated counters: rejoins=%d attempts=%d", tr.Rejoins(), tr.ReconnectAttempts())
+	}
+	if v := tr.Admit(rejoinWorker, rejoinStep, 1); v != RejoinAdmit {
+		t.Fatalf("scheduled rejoin: %v", v)
+	}
+	if v := tr.Admit(rejoinWorker, rejoinStep, 1); v != RejoinRejectDuplicate {
+		t.Fatalf("double admit: %v", v)
+	}
+	if tr.Rejoins() != 1 || tr.RoundRejoins() != 1 || tr.ReconnectAttempts() != 1 {
+		t.Fatalf("counters after one admit: rejoins=%d round=%d attempts=%d",
+			tr.Rejoins(), tr.RoundRejoins(), tr.ReconnectAttempts())
+	}
+}
+
+// FuzzMembershipTracker fuzzes the tracker's invariants against arbitrary
+// configurations and handshake sequences: the incremental state machine must
+// agree with the pure replay at every (step, worker), no worker is admitted
+// twice in a round or before its scheduled downtime elapses, and the
+// counters always agree with the verdicts issued.
+func FuzzMembershipTracker(f *testing.F) {
+	f.Add([]byte{3, 40, 2, 1, 9, 30, 0, 1, 2, 3})
+	f.Add([]byte{7, 70, 1, 0, 200, 50, 5, 5, 0, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		n := int(data[0])%8 + 2
+		cfg := ChurnConfig{
+			Rate:       float64(1+int(data[1])%90) / 100,
+			DownSteps:  1 + int(data[2])%4,
+			MaxRejoins: int(data[3]) % 3,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("generated config invalid: %v", err)
+		}
+		seed := int64(data[4])
+		steps := 1 + int(data[5])%40
+		script := data[6:]
+
+		tr := NewMembershipTracker(cfg, seed, n)
+		lastCrash := make([]int, n)
+		for w := range lastCrash {
+			lastCrash[w] = -1
+		}
+		wantCrashes, wantRejoins, wantAttempts := 0, 0, 0
+		for s := 0; s <= steps; s++ {
+			phases := tr.BeginRound(s)
+			for w := 0; w < n; w++ {
+				if want := cfg.Phase(seed, s, w); phases[w] != want {
+					t.Fatalf("step %d worker %d: tracker %v, replay %v", s, w, phases[w], want)
+				}
+				switch phases[w] {
+				case ChurnCrash:
+					wantCrashes++
+					lastCrash[w] = s
+				case ChurnRejoin:
+					if lastCrash[w] < 0 || s != lastCrash[w]+cfg.DownSteps {
+						t.Fatalf("step %d worker %d: rejoin before downSteps %d elapsed (crash at %d)",
+							s, w, cfg.DownSteps, lastCrash[w])
+					}
+				}
+			}
+
+			// Scripted handshakes: arbitrary (worker, step offset,
+			// attempts) triples, then the legitimate admissions.
+			admitted := make([]bool, n)
+			for len(script) >= 3 {
+				b0, b1, b2 := script[0], script[1], script[2]
+				script = script[3:]
+				worker := int(b0) - 2
+				step := s - 2 + int(b1)%5
+				attempts := int(b2) - 1
+				before := tr.Rejoins()
+				v := tr.Admit(worker, step, attempts)
+				legit := worker >= 0 && worker < n && step == s &&
+					attempts >= 1 && phases[worker] == ChurnRejoin &&
+					!admitted[worker]
+				if legit != (v == RejoinAdmit) {
+					t.Fatalf("step %d: handshake (worker %d step %d attempts %d) verdict %v, legit=%v",
+						s, worker, step, attempts, v, legit)
+				}
+				if v == RejoinAdmit {
+					admitted[worker] = true
+					wantRejoins++
+					wantAttempts += attempts
+				} else if tr.Rejoins() != before {
+					t.Fatalf("step %d: rejection %v mutated rejoin counter", s, v)
+				}
+				if b0%4 == 0 {
+					break // vary how many scripted handshakes land per round
+				}
+			}
+			for w := 0; w < n; w++ {
+				if phases[w] != ChurnRejoin {
+					continue
+				}
+				switch v := tr.Admit(w, s, 1); v {
+				case RejoinAdmit:
+					if admitted[w] {
+						t.Fatalf("step %d worker %d: double admit accepted", s, w)
+					}
+					wantRejoins++
+					wantAttempts++
+				case RejoinRejectDuplicate:
+					if !admitted[w] {
+						t.Fatalf("step %d worker %d: duplicate verdict without prior admit", s, w)
+					}
+				default:
+					t.Fatalf("step %d worker %d: scheduled rejoin verdict %v", s, w, v)
+				}
+				if v := tr.Admit(w, s, 1); v != RejoinRejectDuplicate {
+					t.Fatalf("step %d worker %d: double admit verdict %v", s, w, v)
+				}
+			}
+			if tr.PendingRejoins() != 0 {
+				t.Fatalf("step %d: pending rejoins after admitting all scheduled", s)
+			}
+		}
+		if tr.Crashes() != wantCrashes {
+			t.Fatalf("crashes %d, want %d (phases observed)", tr.Crashes(), wantCrashes)
+		}
+		if tr.Rejoins() != wantRejoins {
+			t.Fatalf("rejoins %d, want %d (admits issued)", tr.Rejoins(), wantRejoins)
+		}
+		if tr.ReconnectAttempts() != wantAttempts {
+			t.Fatalf("reconnectAttempts %d, want %d", tr.ReconnectAttempts(), wantAttempts)
+		}
+	})
+}

@@ -136,6 +136,23 @@ type StepResult struct {
 	// round because the scheduled lag exceeded the staleness bound τ; the
 	// server never waits for (or recoups) these.
 	DroppedStale int
+	// Crashes counts workers the churn schedule crashed this round: each
+	// received the broadcast, tore its sockets down without submitting,
+	// and its slot was dropped (never awaited, never recouped).
+	Crashes int
+	// Rejoins counts workers re-admitted to the membership this round per
+	// the churn schedule, after reconnecting through the backoff dialer.
+	Rejoins int
+	// ReconnectAttempts sums the dial attempts behind this round's
+	// admitted rejoins. On the scheduled path every rejoin dials exactly
+	// once, so this equals Rejoins.
+	ReconnectAttempts int
+	// BelowBound is true when the round was skipped because live
+	// membership fell below the GAR's Byzantine safety bound (n_live <
+	// MinWorkers, e.g. 2f+3 for Krum-family rules): the server refuses to
+	// aggregate unsafely and leaves the model unchanged (Skipped is also
+	// set).
+	BelowBound bool
 }
 
 // New validates the configuration and builds the cluster.

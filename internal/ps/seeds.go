@@ -56,6 +56,21 @@ func ModelDropSeed(runSeed int64, step, worker int) int64 {
 	return runSeed ^ (int64(step)*1000033 + int64(worker)*5003 + 23 + 1<<62)
 }
 
+// ChurnSeed derives the RNG seed for the worker crash/rejoin schedule at one
+// (step, worker) — the membership twin of DropSeed and SlowSeed. The schedule
+// decides which live workers crash this round and is evaluated at BOTH
+// endpoints: the worker to know when to tear its sockets down (and when its
+// scheduled rejoin round arrives), the server to know exactly which slots
+// will never be filled — so a round settles the moment the live membership's
+// gradients are in, with no deadline, and the crash/rejoin/below-bound
+// counters stay pure functions of the run seed. The 1<<60 offset keeps the
+// stream disjoint from DropSeed's, ModelDropSeed's and SlowSeed's lattices,
+// and the primes are fresh so no (step, worker) pair aliases another
+// schedule.
+func ChurnSeed(runSeed int64, step, worker int) int64 {
+	return runSeed ^ (int64(step)*1000151 + int64(worker)*6983 + 41 + 1<<60)
+}
+
 // SlowSeed derives the RNG seed for the asynchronous-round slow-worker
 // schedule at one (step, worker). The schedule decides which workers lag this
 // round (and by how many steps) and is evaluated at BOTH endpoints — the

@@ -45,6 +45,19 @@ type Result struct {
 	// DroppedTooStale counts slots the asynchronous schedule dropped
 	// because the scheduled lag exceeded the staleness bound τ.
 	DroppedTooStale int `json:"droppedTooStale,omitempty"`
+	// Crashes counts scheduled worker crashes across the run (cells with a
+	// churn block). Like every churn counter it is an exact pure function
+	// of the seed, and it is omitted when zero so pre-churn campaign JSON
+	// stays byte-identical.
+	Crashes int `json:"crashes,omitempty"`
+	// Rejoins counts scheduled rejoins the membership tracker admitted.
+	Rejoins int `json:"rejoins,omitempty"`
+	// ReconnectAttempts counts dial attempts rejoining workers spent in the
+	// bounded backoff ladder (equal to Rejoins on a loopback fabric).
+	ReconnectAttempts int `json:"reconnectAttempts,omitempty"`
+	// BelowBoundRounds counts rounds skipped because churn left fewer live
+	// workers than the GAR's Byzantine-resilience bound n >= 2f+3.
+	BelowBoundRounds int `json:"belowBoundRounds,omitempty"`
 	// RoundsPerSec is the effective model-update rate against the simulated
 	// clock — aggregated (non-skipped) rounds per simulated second. Only
 	// reported for asynchronous cells, where it is the headline readout:
@@ -186,6 +199,11 @@ func executeRun(s *Spec, r Run) Result {
 		SlowWorkers:   r.Network.SlowWorkers,
 		Seed:          r.Seed,
 	}
+	if churn := r.Network.churnConfig(); churn.Enabled() {
+		cfg.ChurnRate = churn.Rate
+		cfg.ChurnDownSteps = churn.DownSteps
+		cfg.ChurnMaxRejoins = churn.MaxRejoins
+	}
 	res, err := core.Run(cfg)
 	if err != nil {
 		out.Error = err.Error()
@@ -207,6 +225,10 @@ func executeRun(s *Spec, r Run) Result {
 	out.StaleGradients = res.StaleGradients
 	out.AdmittedStale = res.AdmittedStale
 	out.DroppedTooStale = res.DroppedTooStale
+	out.Crashes = res.Crashes
+	out.Rejoins = res.Rejoins
+	out.ReconnectAttempts = res.ReconnectAttempts
+	out.BelowBoundRounds = res.BelowBoundRounds
 	// The effective round rate is only reported for asynchronous cells so
 	// pre-async campaign JSON stays byte-identical. It divides aggregated
 	// (non-skipped) rounds by total simulated time: a lockstep cell gated by

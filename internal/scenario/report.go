@@ -128,6 +128,10 @@ func (c *Campaign) Summary() string {
 		b.WriteString(async)
 	}
 
+	if churn := c.churnSection(); churn != "" {
+		b.WriteString(churn)
+	}
+
 	if errs := c.errorLines(); len(errs) > 0 {
 		fmt.Fprintf(&b, "\n== infeasible runs ==\n")
 		for _, line := range errs {
@@ -241,6 +245,40 @@ func (c *Campaign) asyncSection() string {
 		}
 		fmt.Fprintf(&b, "%-24s %7s %3d %6.2f %10s %9d %9d %8d %6d\n",
 			n.Name, quorum, n.Staleness, n.SlowWorkers, rps, admitted, dropped, skipped, scored)
+	}
+	return b.String()
+}
+
+// churnSection renders the worker-churn digest: for every network cell with
+// a churn schedule, the crash/rejoin/reconnect bookkeeping plus the rounds
+// skipped below the GAR's resilience bound, summed over the cell's runs.
+// Every number is a pure function of the seed — reruns print this section
+// byte-identically. The section disappears when no network churns.
+func (c *Campaign) churnSection() string {
+	var b strings.Builder
+	for _, n := range c.Spec.Networks {
+		if !n.churnEnabled() {
+			continue
+		}
+		var crashes, rejoins, attempts, below, scored int
+		for _, res := range c.Results {
+			if res.Run.Network.Name != n.Name || res.Error != "" {
+				continue
+			}
+			scored++
+			crashes += res.Crashes
+			rejoins += res.Rejoins
+			attempts += res.ReconnectAttempts
+			below += res.BelowBoundRounds
+		}
+		if b.Len() == 0 {
+			fmt.Fprintf(&b, "\n== worker churn ==\n")
+			fmt.Fprintf(&b, "%-24s %6s %5s %8s %8s %8s %9s %12s %6s\n",
+				"network", "rate", "down", "max-rej", "crashes", "rejoined", "redials", "below-bound", "runs")
+		}
+		fmt.Fprintf(&b, "%-24s %6.2f %5d %8d %8d %8d %9d %12d %6d\n",
+			n.Name, n.Churn.Rate, n.Churn.DownSteps, n.Churn.MaxRejoins,
+			crashes, rejoins, attempts, below, scored)
 	}
 	return b.String()
 }

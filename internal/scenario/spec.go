@@ -24,6 +24,7 @@ import (
 	"aggregathor/internal/core"
 	"aggregathor/internal/gar"
 	"aggregathor/internal/opt"
+	"aggregathor/internal/ps"
 	"aggregathor/internal/simnet"
 	"aggregathor/internal/transport"
 )
@@ -95,12 +96,50 @@ type Network struct {
 	// τ). Evaluated at both endpoints, so asynchronous cells stay
 	// byte-reproducible. Requires staleness >= 1.
 	SlowWorkers float64 `json:"slowWorkers,omitempty"`
+	// Churn, when present with a positive rate, enables the deterministic
+	// worker crash/rejoin schedule on this cell: live workers crash with
+	// the seeded per-(step, worker) probability, tear their sockets down,
+	// and rejoin downSteps rounds later through the bounded-backoff
+	// dialer, at most maxRejoins times each. Requires backend "tcp" or
+	// "udp"; incompatible with asynchronous rounds, lossy model broadcasts
+	// and informed attacks. A churn cell's crash/rejoin/belowBound
+	// counters are exact pure functions of the seed, so churn campaigns
+	// stay byte-reproducible.
+	Churn *Churn `json:"churn,omitempty"`
 	// Protocol costs the simulated clock as "tcp" (default) or "udp".
 	Protocol string `json:"protocol,omitempty"`
 	// RTTMicros overrides the simulated link round-trip time in
 	// microseconds (the latency knob); 0 keeps the Grid5000 default.
 	RTTMicros int `json:"rttMicros,omitempty"`
 }
+
+// Churn is the worker crash/rejoin schedule of one network cell — the
+// scenario-level spelling of ps.ChurnConfig.
+type Churn struct {
+	// Rate is the per-(step, worker) crash probability in [0, 1); 0
+	// disables churn (and then downSteps/maxRejoins must be 0 too, so a
+	// half-disabled schedule fails loudly instead of silently sweeping
+	// churn-free).
+	Rate float64 `json:"rate"`
+	// DownSteps is how many rounds a crashed worker stays away before its
+	// scheduled rejoin (>= 1 when rate > 0).
+	DownSteps int `json:"downSteps,omitempty"`
+	// MaxRejoins caps how many times one worker may rejoin; a crash past
+	// the cap is permanent.
+	MaxRejoins int `json:"maxRejoins,omitempty"`
+}
+
+// churnConfig maps the cell's churn knobs onto the parameter service's
+// ChurnConfig (zero value when the cell has no churn block).
+func (n Network) churnConfig() ps.ChurnConfig {
+	if n.Churn == nil {
+		return ps.ChurnConfig{}
+	}
+	return ps.ChurnConfig{Rate: n.Churn.Rate, DownSteps: n.Churn.DownSteps, MaxRejoins: n.Churn.MaxRejoins}
+}
+
+// churnEnabled reports whether this cell runs the worker-churn schedule.
+func (n Network) churnEnabled() bool { return n.churnConfig().Enabled() }
 
 // Spec is a declarative campaign: the axes of the sweep plus the shared
 // training configuration. Zero-valued fields take the documented defaults
@@ -277,6 +316,20 @@ func (s *Spec) Validate() error {
 		if n.asyncEnabled() && (n.ModelDropRate != 0 || n.ModelRecoup != "") {
 			return fmt.Errorf("scenario: network %q combines asynchronous rounds (quorum/staleness/slowWorkers) with lossy model broadcasts (modelDropRate/modelRecoup)", n.Name)
 		}
+		if err := n.churnConfig().Validate(); err != nil {
+			return fmt.Errorf("scenario: network %q: %w", n.Name, err)
+		}
+		if n.churnEnabled() {
+			if n.Backend != core.BackendTCP && n.Backend != core.BackendUDP {
+				return fmt.Errorf("scenario: network %q sets churn without backend \"tcp\" or \"udp\" (the in-process simulator has no sockets to crash)", n.Name)
+			}
+			if n.asyncEnabled() {
+				return fmt.Errorf("scenario: network %q: %w", n.Name, ps.ErrChurnAsync)
+			}
+			if n.ModelDropRate != 0 || n.ModelRecoup != "" {
+				return fmt.Errorf("scenario: network %q: %w", n.Name, ps.ErrChurnModelLoss)
+			}
+		}
 		wire, err := transport.ParseWireFormat(n.WireFormat)
 		if err != nil {
 			return fmt.Errorf("scenario: network %q: %w", n.Name, err)
@@ -297,6 +350,29 @@ func (s *Spec) Validate() error {
 		if n.RTTMicros < 0 {
 			return fmt.Errorf("scenario: network %q negative rttMicros", n.Name)
 		}
+	}
+	// An informed attack recomputes the honest workers' gradients from the
+	// run seed assuming every peer samples once per round; a churn schedule
+	// breaks that oracle (a crashed worker's sampler stream pauses while it
+	// is down). The cluster constructors re-check per cell — rejecting the
+	// sweep combination here fails the campaign before any cell runs.
+	for _, n := range s.Networks {
+		if !n.churnEnabled() {
+			continue
+		}
+		for _, a := range s.Attacks {
+			if a == AttackNone {
+				continue
+			}
+			atk, err := attack.New(a)
+			if err != nil {
+				continue // unknown names were rejected above
+			}
+			if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
+				return fmt.Errorf("scenario: attack %q requires recomputing honest gradients, incompatible with churn network %q: the shared-seed oracle cannot track membership", a, n.Name)
+			}
+		}
+		break
 	}
 	if _, err := opt.New(s.Optimizer, opt.Fixed{Rate: s.LR}); err != nil {
 		return fmt.Errorf("scenario: %w", err)
@@ -588,6 +664,45 @@ func AsyncSmokeSpec() Spec {
 			{Name: "async-tcp", Backend: "tcp", Quorum: 6, Staleness: 2, SlowWorkers: 0.25},
 			{Name: "async-udp", Backend: "udp", Quorum: 6, Staleness: 2, SlowWorkers: 0.25},
 			{Name: "async-udp-lossy", Backend: "udp", Quorum: 6, Staleness: 2, SlowWorkers: 0.25,
+				DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
+		},
+		Seeds:     []int64{1},
+		Steps:     30,
+		Batch:     16,
+		LR:        5e-3,
+		EvalEvery: 10,
+		Threshold: 0.25,
+	}
+	s.ApplyDefaults()
+	return s
+}
+
+// ChurnSmokeSpec returns the built-in worker-churn demonstration campaign
+// (cmd/scenario -builtin churn-smoke): the tcp-smoke cells swept through the
+// deterministic crash/rejoin schedule. A steady in-process baseline, then
+// churn at rate 0.08 (down 2 rounds, at most 2 rejoins per worker — at seed
+// 1 the 30-step schedule produces 18 crashes, 13 rejoins and 4 permanent
+// departures) on both socket backends, plus a lossy-uplink churn cell
+// composing the schedule with 10% gradient packet loss. The multi-krum cells
+// additionally exercise graceful GAR degradation: rounds the schedule drags
+// below the n >= 2f+3 resilience bound are skipped and counted
+// (belowBoundRounds), never aggregated. The loss-free tcp and udp churn
+// cells produce identical counters and trajectories — the schedule is
+// evaluated at both endpoints from the seed, never from socket timing — and
+// every cell stays byte-reproducible across reruns.
+func ChurnSmokeSpec() Spec {
+	churn := &Churn{Rate: 0.08, DownSteps: 2, MaxRejoins: 2}
+	s := Spec{
+		Name:       "churn-smoke",
+		Experiment: "features-mlp",
+		GARs:       []string{"median", "multi-krum"},
+		Attacks:    []string{AttackNone, "reversed", "non-finite"},
+		Clusters:   []Cluster{{Workers: 7, F: 1}},
+		Networks: []Network{
+			{Name: "steady-in-process"},
+			{Name: "churn-tcp", Backend: "tcp", Churn: churn},
+			{Name: "churn-udp", Backend: "udp", Churn: churn},
+			{Name: "churn-udp-lossy", Backend: "udp", Churn: churn,
 				DropRate: 0.1, Recoup: "fill-random", Protocol: "udp"},
 		},
 		Seeds:     []int64{1},
