@@ -9,7 +9,7 @@ CHURN_SMOKE_OUT ?= /tmp/aggregathor-scenario-churn-smoke.json
 
 BENCH_JSON_DIR ?= .
 
-.PHONY: all vet lint escape-check check build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async smoke-churn bench-json ci clean
+.PHONY: all vet lint escape-check guard-matrix-check directives check build test race fuzz smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async smoke-churn bench-json ci clean
 
 all: ci
 
@@ -28,8 +28,19 @@ lint:
 escape-check:
 	$(GO) run ./cmd/aggrevet -escape
 
+# Diff the cross-layer guard-parity matrix (config-axis pairs x the layers
+# rejecting them) against the committed golden. Regenerate after adding or
+# moving a guard with: $(GO) run ./cmd/aggrevet -guard-matrix -write
+guard-matrix-check:
+	$(GO) run ./cmd/aggrevet -guard-matrix
+
+# Audit every //aggrevet:* suppression directive in the module: prints each
+# justification with its location and fails on thin (<10 char) ones.
+directives:
+	$(GO) run ./cmd/aggrevet -directives ./...
+
 # The default local gate: static checks, then build and tests.
-check: vet lint escape-check build test
+check: vet lint escape-check guard-matrix-check build test
 
 build:
 	$(GO) build ./...
@@ -103,7 +114,7 @@ smoke-churn:
 bench-json:
 	$(GO) run ./cmd/bench -json -out $(BENCH_JSON_DIR)
 
-ci: vet lint escape-check build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async smoke-churn
+ci: vet lint escape-check guard-matrix-check build race smoke smoke-tcp smoke-udp smoke-model-loss smoke-wire smoke-async smoke-churn
 
 clean:
 	$(GO) clean ./...

@@ -37,17 +37,87 @@ import (
 	"strings"
 )
 
-// An Analyzer checks one invariant of the reproducibility contract.
+// An Analyzer checks one invariant of the reproducibility contract. It is
+// either per-package (Run set: one pass per package, no cross-package view)
+// or module-wide (RunModule set: one pass over the whole loaded module, for
+// invariants that live in interprocedural dataflow or cross-package
+// structure — seed lineage, guard parity).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, e.g. "maporder".
 	Name string
 	// Doc is a one-paragraph description of the invariant.
 	Doc string
 	// Directive is the suppression directive name that justifies an
-	// intentional violation, e.g. "ordered" for //aggrevet:ordered.
+	// intentional violation, e.g. "ordered" for //aggrevet:ordered. Empty
+	// for analyzers whose findings have no per-site suppression (guard
+	// parity is accepted through the golden matrix instead).
 	Directive string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once. Exactly one of Run and
+	// RunModule is set.
+	RunModule func(*ModulePass)
+}
+
+// A ModulePass is one module-wide analyzer's view of the loaded module.
+// Reportf attributes each finding to the owning package for directive
+// suppression and honours the analyzer's package scope, so module analyzers
+// may traverse everything and report only where they police.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	scope      ScopedAnalyzer
+	diags      *[]Diagnostic
+	usedByPkg  map[*Package]map[string]bool
+	reportedAt map[string]bool
+}
+
+// Reportf reports a finding at pos (a position inside one of the module's
+// files) unless the owning package is out of the analyzer's scope, the file
+// is allowlisted, or the line carries the analyzer's suppression directive.
+func (mp *ModulePass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	pkg := mp.Module.PackageOf(fset, pos)
+	if pkg == nil {
+		return
+	}
+	if !mp.scope.AppliesTo(pkg.PkgPath) {
+		return
+	}
+	position := pkg.Fset.Position(pos)
+	if mp.scope.Allowed(position.Filename) {
+		return
+	}
+	if mp.Analyzer.Directive != "" {
+		if key, ok := pkg.directiveAt(position, mp.Analyzer.Directive); ok {
+			mp.usedByPkg[pkg][key] = true
+			return
+		}
+	}
+	mp.reportAt(position, format, args...)
+}
+
+// ReportAt reports a finding at an explicit position, bypassing scope and
+// directive lookup — for diagnostics that do not anchor to a source line
+// (golden-file drift, a matrix row with no declaration site).
+func (mp *ModulePass) ReportAt(position token.Position, format string, args ...any) {
+	mp.reportAt(position, format, args...)
+}
+
+func (mp *ModulePass) reportAt(position token.Position, format string, args ...any) {
+	d := Diagnostic{
+		Pos:      position,
+		Analyzer: mp.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+	// Module analyzers can reach the same finding through several call
+	// paths; report each (position, message) once.
+	key := d.String()
+	if mp.reportedAt[key] {
+		return
+	}
+	mp.reportedAt[key] = true
+	*mp.diags = append(*mp.diags, d)
 }
 
 // A Pass is one analyzer's view of one package.
@@ -158,6 +228,31 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) map[string]directiv
 			}
 		}
 	}
+	return out
+}
+
+// A DirectiveInfo is one //aggrevet: suppression comment as seen by audit
+// tooling (`aggrevet -directives`).
+type DirectiveInfo struct {
+	Pos           token.Position
+	Name          string
+	Justification string
+}
+
+// Directives returns every //aggrevet: comment in the package in position
+// order — the package's slice of the repo-wide audit trail of intentionally
+// nondeterministic lines.
+func (pkg *Package) Directives() []DirectiveInfo {
+	out := make([]DirectiveInfo, 0, len(pkg.directives))
+	for _, d := range pkg.directives {
+		out = append(out, DirectiveInfo{Pos: d.pos, Name: d.name, Justification: d.justification})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
 	return out
 }
 

@@ -116,6 +116,153 @@ func TestSeededRandFixture(t *testing.T) { checkFixture(t, SeededRand, "seededra
 func TestSortDetFixture(t *testing.T)    { checkFixture(t, SortDet, "sortdet", nil) }
 func TestHotAllocFixture(t *testing.T)   { checkFixture(t, HotAlloc, "hotalloc", nil) }
 func TestDirectivesFixture(t *testing.T) { checkFixture(t, MapOrder, "directives", nil) }
+func TestSeedFlowFixture(t *testing.T)   { checkFixture(t, SeedFlow, "seedflow", nil) }
+func TestSelectDetFixture(t *testing.T)  { checkFixture(t, SelectDet, "selectdet", nil) }
+func TestGoroLeakFixture(t *testing.T)   { checkFixture(t, GoroLeak, "goroleak", nil) }
+func TestErrDetFixture(t *testing.T)     { checkFixture(t, ErrDet, "errdet", nil) }
+
+// TestGuardParityFixture drives the cross-package analyzer over its four
+// fixture layers against a fixture golden that encodes one of each failure
+// mode: an undeclared parity hole (core), golden drift (scenario now
+// enforces a guard its row omits), a stale row naming a ghost sentinel, a
+// declared "!ps" hole (quiet) and an exactly-matching row (quiet).
+func TestGuardParityFixture(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/guardparity/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 4 {
+		t.Fatalf("loaded %d fixture layers, want 4", len(pkgs))
+	}
+	golden, err := filepath.Abs("testdata/src/guardparity/guard_matrix.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	guardMatrixOverride = golden
+	defer func() { guardMatrixOverride = "" }()
+
+	diags := RunSuite([]ScopedAnalyzer{{Analyzer: GuardParity}}, pkgs)
+	want := []string{
+		`guard matrix drift: churn×async (ps.ErrChurnAsync) is now enforced at scenario`,
+		`guard parity hole: churn×async (ps.ErrChurnAsync) is enforced at [scenario cluster] but core can express both axes`,
+		`stale golden row: matrix declares guard churn×model-loss (ps.ErrChurnModelLoss)`,
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Log(d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, d := range diags {
+				t.Log(d)
+			}
+			t.Fatalf("no diagnostic contains %q", w)
+		}
+	}
+}
+
+// TestGuardParityFixtureRender pins the golden syntax the -guard-matrix
+// mode emits: rows sorted by axis pair, enforced layers in chain order, and
+// computed "!" hole markers for expected-but-unenforced layers.
+func TestGuardParityFixtureRender(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/guardparity/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderGuardMatrix(pkgs)
+	for _, row := range []string{
+		"churn×async (ps.ErrChurnAsync): scenario !core cluster !ps\n",
+		"informed×slow (ps.ErrInformedSlow): cluster ps\n",
+	} {
+		if !strings.Contains(got, row) {
+			t.Fatalf("rendered matrix missing row %q:\n%s", row, got)
+		}
+	}
+}
+
+// TestGuardParityGoldenMissing pins the bootstrap diagnostic: sentinels
+// with no committed matrix demand a -write run instead of silently passing.
+func TestGuardParityGoldenMissing(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/guardparity/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	guardMatrixOverride = filepath.Join(t.TempDir(), "absent.txt")
+	defer func() { guardMatrixOverride = "" }()
+	diags := RunSuite([]ScopedAnalyzer{{Analyzer: GuardParity}}, pkgs)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "golden matrix missing") {
+		t.Fatalf("want the single golden-missing diagnostic, got %v", diags)
+	}
+}
+
+// TestDirectivesAccessor pins the -directives audit surface: every
+// //aggrevet: comment of the fixture comes back in position order with its
+// name and justification text.
+func TestDirectivesAccessor(t *testing.T) {
+	pkgs, err := Load(".", "./testdata/src/directives")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pkgs[0].Directives()
+	if len(ds) != 4 {
+		t.Fatalf("got %d directives, want 4", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Pos.Line <= ds[i-1].Pos.Line {
+			t.Fatalf("directives out of position order: %v", ds)
+		}
+	}
+	last := ds[len(ds)-1]
+	if last.Name != "ordered" || !strings.Contains(last.Justification, "order-independent reduction") {
+		t.Fatalf("unexpected final directive: %+v", last)
+	}
+}
+
+// TestDefaultSuiteHasTenAnalyzers pins the suite composition after the v2
+// expansion: five per-package passes and five module/dataflow passes, with
+// no duplicate names or directive collisions.
+func TestDefaultSuiteHasTenAnalyzers(t *testing.T) {
+	suite := DefaultSuite()
+	if len(suite) != 10 {
+		t.Fatalf("default suite has %d analyzers, want 10", len(suite))
+	}
+	names := map[string]bool{}
+	directives := map[string]bool{}
+	perPkg, module := 0, 0
+	for _, s := range suite {
+		a := s.Analyzer
+		if names[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if a.Directive != "" {
+			if directives[a.Directive] {
+				t.Fatalf("duplicate directive %q", a.Directive)
+			}
+			directives[a.Directive] = true
+		}
+		switch {
+		case a.Run != nil && a.RunModule == nil:
+			perPkg++
+		case a.RunModule != nil && a.Run == nil:
+			module++
+		default:
+			t.Fatalf("analyzer %q must set exactly one of Run and RunModule", a.Name)
+		}
+	}
+	if perPkg != 8 || module != 2 {
+		t.Fatalf("suite split per-package=%d module=%d, want 8 and 2", perPkg, module)
+	}
+}
 
 // TestWallClockFixture runs the wallclock fixture with allowed.go standing
 // in for a deadline/pacing seam file, then re-runs without the allowlist

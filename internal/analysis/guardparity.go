@@ -1,0 +1,427 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// GuardParity reconciles the cross-axis rejection guards across the four
+// config layers (internal/ps, internal/cluster, internal/core,
+// internal/scenario). Two incompatible knobs — churn × async, informed ×
+// slow, async × model-loss — must be rejected at every layer that can
+// express both, or a spec that one layer would refuse slides through
+// another and surfaces as a per-cell Result.Error deep inside a campaign.
+// PRs 7 and 9 replicated these guards by hand; this analyzer machine-checks
+// the replication.
+//
+// A guard is visible to the analyzer when it wraps a named sentinel — a
+// package-level `var Err<AxisA><AxisB> = errors.New(...)` whose name parses
+// into two or more known axis tokens (Churn, Async, ModelLoss, Informed,
+// Slow). A layer enforces the guard when it references the sentinel
+// (fmt.Errorf("...: %w", ps.ErrChurnAsync) or errors.Is). Inline
+// fmt.Errorf guards are invisible by design: promote them to a sentinel so
+// every layer shares one rejection identity.
+//
+// The axis × layer matrix is committed as a golden file
+// (internal/analysis/guard_matrix.txt, regenerated with `aggrevet
+// -guard-matrix -write`). For each guard the analyzer computes the expected
+// layer set — the layers whose source mentions both axes' config markers —
+// and diagnoses:
+//
+//   - a guard enforced at one expected layer but missing at another, unless
+//     the golden row declares the hole with a reviewed "!layer" marker;
+//   - drift between the computed matrix and the committed golden (both
+//     directions), so adding or removing a guard is always a visible,
+//     reviewable golden diff;
+//   - stale golden rows and stale hole markers.
+var GuardParity = &Analyzer{
+	Name: "guardparity",
+	Doc: "cross-layer guard parity: every axis-pair rejection sentinel must " +
+		"be enforced at each config layer that can express both axes, and " +
+		"the axis × layer matrix must match the committed golden file",
+	RunModule: runGuardParity,
+}
+
+// GuardMatrixFile is the committed golden matrix, relative to the module
+// root; cmd/aggrevet's -guard-matrix mode reads and regenerates it.
+const GuardMatrixFile = "internal/analysis/guard_matrix.txt"
+
+// guardMatrixOverride redirects the golden lookup in fixture tests.
+var guardMatrixOverride string
+
+// guardLayers are the four config layers, in validation-chain order
+// (outermost spec first).
+var guardLayers = []string{"scenario", "core", "cluster", "ps"}
+
+// axisTokens maps each camel-case axis token (longest first, for greedy
+// sentinel-name parsing) to its display name.
+var axisTokens = []struct{ token, display string }{
+	{"ModelLoss", "model-loss"},
+	{"Informed", "informed"},
+	{"Churn", "churn"},
+	{"Async", "async"},
+	{"Slow", "slow"},
+}
+
+// axisMarkers are the identifiers whose presence in a layer's source means
+// the layer can express the axis — and therefore must guard its forbidden
+// combinations.
+var axisMarkers = map[string][]string{
+	"churn":      {"ChurnConfig", "ChurnRate", "churnEnabled"},
+	"async":      {"AsyncConfig", "Quorum", "Staleness"},
+	"model-loss": {"ModelDropRate"},
+	"informed":   {"Informed"},
+	"slow":       {"SlowRate", "SlowWorkers"},
+}
+
+// guardSentinel is one discovered axis-pair sentinel.
+type guardSentinel struct {
+	key      string // "pkgpath.ErrName"
+	name     string // "ps.ErrChurnAsync" (short package qualifier)
+	axes     []string
+	declPos  token.Position
+	enforced map[string]bool // layer → referenced
+}
+
+// display renders the canonical axis-pair label, e.g. "churn×async".
+func (g *guardSentinel) display() string { return strings.Join(g.axes, "×") }
+
+// guardMatrix is the computed axis × layer matrix plus per-layer axis
+// presence.
+type guardMatrix struct {
+	guards []*guardSentinel
+	// axisPresent[layer][axis] — whether the layer's source mentions the
+	// axis's config markers.
+	axisPresent map[string]map[string]bool
+	// layerFound records which of the four layers were actually loaded, so
+	// a partial load (aggrevet ./internal/cluster) does not report the
+	// other layers as holes.
+	layerFound map[string]bool
+}
+
+// expected returns the layers that can express both of g's axes, among the
+// loaded ones.
+func (m *guardMatrix) expected(g *guardSentinel) []string {
+	var out []string
+	for _, layer := range guardLayers {
+		if !m.layerFound[layer] {
+			continue
+		}
+		all := true
+		for _, ax := range g.axes {
+			if !m.axisPresent[layer][ax] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, layer)
+		}
+	}
+	return out
+}
+
+// layerOf maps a package path to its guard layer name, or "".
+func layerOf(pkgPath string) string {
+	for _, layer := range guardLayers {
+		if pkgPath == layer || strings.HasSuffix(pkgPath, "/"+layer) {
+			return layer
+		}
+	}
+	return ""
+}
+
+// parseGuardAxes parses a sentinel name (without the "Err" prefix) into its
+// axis display names; ok only when the whole name is axis tokens and there
+// are at least two.
+func parseGuardAxes(name string) (axes []string, ok bool) {
+	rest := name
+	for rest != "" {
+		matched := false
+		for _, t := range axisTokens {
+			if strings.HasPrefix(rest, t.token) {
+				axes = append(axes, t.display)
+				rest = rest[len(t.token):]
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, false
+		}
+	}
+	return axes, len(axes) >= 2
+}
+
+// buildGuardMatrix discovers sentinels and their per-layer references.
+func buildGuardMatrix(mod *Module) *guardMatrix {
+	m := &guardMatrix{
+		axisPresent: map[string]map[string]bool{},
+		layerFound:  map[string]bool{},
+	}
+	byKey := map[string]*guardSentinel{}
+
+	// Pass 1: sentinel declarations (any loaded package) and axis markers +
+	// layer discovery.
+	for _, pkg := range mod.Pkgs {
+		layer := layerOf(pkg.PkgPath)
+		if layer != "" {
+			m.layerFound[layer] = true
+			if m.axisPresent[layer] == nil {
+				m.axisPresent[layer] = map[string]bool{}
+			}
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if layer != "" {
+					for axis, markers := range axisMarkers {
+						for _, marker := range markers {
+							if id.Name == marker {
+								m.axisPresent[layer][axis] = true
+							}
+						}
+					}
+				}
+				obj, isDef := pkg.Info.Defs[id]
+				if !isDef || obj == nil {
+					return true
+				}
+				v, isVar := obj.(*types.Var)
+				if !isVar || v.Parent() != pkg.Types.Scope() || !strings.HasPrefix(id.Name, "Err") {
+					return true
+				}
+				axes, okAxes := parseGuardAxes(strings.TrimPrefix(id.Name, "Err"))
+				if !okAxes {
+					return true
+				}
+				g := &guardSentinel{
+					key:      pkg.PkgPath + "." + id.Name,
+					name:     pkg.Name + "." + id.Name,
+					axes:     axes,
+					declPos:  pkg.Fset.Position(id.Pos()),
+					enforced: map[string]bool{},
+				}
+				byKey[g.key] = g
+				m.guards = append(m.guards, g)
+				return true
+			})
+		}
+	}
+	sort.Slice(m.guards, func(i, j int) bool { return m.guards[i].display() < m.guards[j].display() })
+
+	// Pass 2: sentinel references per layer. Cross-package uses resolve to
+	// importer objects, so match by (package path, name).
+	for _, pkg := range mod.Pkgs {
+		layer := layerOf(pkg.PkgPath)
+		if layer == "" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, isUse := pkg.Info.Uses[id]
+				if !isUse || obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if g, found := byKey[obj.Pkg().Path()+"."+obj.Name()]; found {
+					g.enforced[layer] = true
+				}
+				return true
+			})
+		}
+	}
+	return m
+}
+
+// goldenRow is one parsed golden-matrix line.
+type goldenRow struct {
+	display  string
+	sentinel string
+	enforced map[string]bool
+	holes    map[string]bool
+	line     int
+}
+
+// parseGuardGolden parses the committed matrix. Line grammar:
+//
+//	churn×async (ps.ErrChurnAsync): cluster core scenario !ps
+func parseGuardGolden(raw string) (map[string]*goldenRow, error) {
+	rows := map[string]*goldenRow{}
+	for i, line := range strings.Split(raw, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		head, layers, found := strings.Cut(line, ":")
+		if !found {
+			return nil, fmt.Errorf("line %d: missing ':'", i+1)
+		}
+		name, sentinel, found := strings.Cut(strings.TrimSpace(head), " ")
+		if !found || !strings.HasPrefix(sentinel, "(") || !strings.HasSuffix(sentinel, ")") {
+			return nil, fmt.Errorf("line %d: want \"axes (pkg.ErrName): layers\"", i+1)
+		}
+		row := &goldenRow{
+			display:  name,
+			sentinel: strings.Trim(sentinel, "()"),
+			enforced: map[string]bool{},
+			holes:    map[string]bool{},
+			line:     i + 1,
+		}
+		for _, l := range strings.Fields(layers) {
+			if hole, ok := strings.CutPrefix(l, "!"); ok {
+				row.holes[hole] = true
+			} else {
+				row.enforced[l] = true
+			}
+		}
+		rows[row.sentinel] = row
+	}
+	return rows, nil
+}
+
+// renderGuardRow formats one matrix row in golden syntax: enforced layers in
+// chain order, then "!" hole markers for expected-but-unenforced layers.
+func renderGuardRow(m *guardMatrix, g *guardSentinel) string {
+	var cells []string
+	expected := map[string]bool{}
+	for _, l := range m.expected(g) {
+		expected[l] = true
+	}
+	for _, layer := range guardLayers {
+		if g.enforced[layer] {
+			cells = append(cells, layer)
+		} else if expected[layer] {
+			cells = append(cells, "!"+layer)
+		}
+	}
+	return fmt.Sprintf("%s (%s): %s", g.display(), g.name, strings.Join(cells, " "))
+}
+
+// RenderGuardMatrix computes the axis × layer matrix over the loaded
+// packages and renders it in golden-file syntax — the `aggrevet
+// -guard-matrix` output. Hole markers ("!layer") flag expected layers with
+// no guard; committing one is an explicit, reviewable acceptance.
+func RenderGuardMatrix(pkgs []*Package) string {
+	m := buildGuardMatrix(NewModule(pkgs))
+	var b strings.Builder
+	b.WriteString("# aggrevet guard-parity matrix: config-axis pairs × the layers rejecting them.\n")
+	b.WriteString("# A \"!layer\" marker declares a reviewed hole: the layer can express both axes\n")
+	b.WriteString("# but intentionally delegates the rejection. Regenerate with:\n")
+	b.WriteString("#   go run ./cmd/aggrevet -guard-matrix -write\n")
+	for _, g := range m.guards {
+		b.WriteString(renderGuardRow(m, g))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// goldenPath resolves the committed matrix location for this module.
+func goldenPath(mod *Module) string {
+	if guardMatrixOverride != "" {
+		return guardMatrixOverride
+	}
+	return filepath.Join(mod.Root, filepath.FromSlash(GuardMatrixFile))
+}
+
+func runGuardParity(mp *ModulePass) {
+	m := buildGuardMatrix(mp.Module)
+	path := goldenPath(mp.Module)
+	goldenPos := token.Position{Filename: path, Line: 1}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if len(m.guards) == 0 {
+			return // nothing to reconcile, nothing committed: clean
+		}
+		mp.ReportAt(goldenPos,
+			"guard-parity golden matrix missing; generate it with `aggrevet -guard-matrix -write` and review the rows")
+		return
+	}
+	golden, perr := parseGuardGolden(string(raw))
+	if perr != nil {
+		mp.ReportAt(goldenPos, "guard-parity golden matrix unparseable: %v", perr)
+		return
+	}
+
+	for _, g := range m.guards {
+		row := golden[g.name]
+		if row == nil {
+			mp.ReportAt(g.declPos,
+				"guard %s (%s) is not declared in the golden matrix %s; regenerate with `aggrevet -guard-matrix -write` and review",
+				g.display(), g.name, GuardMatrixFile)
+			row = &goldenRow{enforced: map[string]bool{}, holes: map[string]bool{}}
+		}
+		expected := map[string]bool{}
+		for _, l := range m.expected(g) {
+			expected[l] = true
+		}
+		for _, layer := range guardLayers {
+			if !m.layerFound[layer] {
+				continue
+			}
+			switch {
+			case g.enforced[layer] && !row.enforced[layer] && golden[g.name] != nil:
+				mp.ReportAt(g.declPos,
+					"guard matrix drift: %s (%s) is now enforced at %s but the golden row does not list it; regenerate the matrix",
+					g.display(), g.name, layer)
+			case !g.enforced[layer] && row.enforced[layer]:
+				mp.ReportAt(g.declPos,
+					"guard matrix drift: golden declares %s (%s) enforced at %s but no reference to the sentinel was found there",
+					g.display(), g.name, layer)
+			case !g.enforced[layer] && expected[layer] && !row.holes[layer]:
+				mp.ReportAt(g.declPos,
+					"guard parity hole: %s (%s) is enforced at [%s] but %s can express both axes and does not reference the sentinel; add the guard or declare the hole (\"!%s\") in %s",
+					g.display(), g.name, strings.Join(sortedLayerSet(g.enforced), " "), layer, layer, GuardMatrixFile)
+			case g.enforced[layer] && row.holes[layer]:
+				mp.ReportAt(g.declPos,
+					"stale hole marker: golden declares \"!%s\" for %s (%s) but the layer now enforces the guard; regenerate the matrix",
+					layer, g.display(), g.name)
+			}
+		}
+	}
+
+	// Golden rows whose sentinel no longer exists (or is no longer a
+	// recognizable axis-pair guard).
+	names := map[string]bool{}
+	for _, g := range m.guards {
+		names[g.name] = true
+	}
+	keys := make([]string, 0, len(golden))
+	for k := range golden {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !names[k] {
+			mp.ReportAt(token.Position{Filename: path, Line: golden[k].line},
+				"stale golden row: matrix declares guard %s (%s) but no such sentinel exists; regenerate the matrix",
+				golden[k].display, k)
+		}
+	}
+}
+
+func sortedLayerSet(set map[string]bool) []string {
+	var out []string
+	for _, layer := range guardLayers {
+		if set[layer] {
+			out = append(out, layer)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"no layer"}
+	}
+	return out
+}

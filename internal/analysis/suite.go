@@ -24,6 +24,25 @@ var hotAllocPackages = []string{
 // there breaks reproducibility one layer earlier.
 var seededRandPackages = append([]string{"internal/data"}, criticalPackages...)
 
+// goroutinePackages are the packages whose goroutines GoroLeak polices: the
+// three that spawn concurrent machinery on campaign paths. A leaked
+// goroutine outlives its round and races the next one — the class of bug
+// the PR 9 accept-loop shutdown work was about.
+var goroutinePackages = []string{
+	"internal/ps",
+	"internal/cluster",
+	"internal/transport",
+}
+
+// guardLayerPackages are the four config layers whose cross-axis rejection
+// guards GuardParity reconciles.
+var guardLayerPackages = []string{
+	"internal/ps",
+	"internal/cluster",
+	"internal/core",
+	"internal/scenario",
+}
+
 // wallclockAllowFiles is the explicit allowlist of deadline/pacing files —
 // the only places in the critical packages permitted to read the wall
 // clock. Keep this list a handful of files: new wall-clock needs should
@@ -71,8 +90,12 @@ func (s ScopedAnalyzer) Allowed(filename string) bool {
 	return false
 }
 
-// DefaultSuite is the aggrevet configuration: the five analyzers scoped to
-// the packages whose invariants they enforce.
+// DefaultSuite is the aggrevet configuration: the ten analyzers scoped to
+// the packages whose invariants they enforce. Five are per-package syntax
+// checks (PR 8); five are the v2 dataflow and cross-package structure
+// checks — seedflow (interprocedural seed lineage), guardparity (cross-layer
+// rejection matrix), selectdet (deterministic select resolution), goroleak
+// (joined goroutines) and errdet (deterministic error strings).
 func DefaultSuite() []ScopedAnalyzer {
 	return []ScopedAnalyzer{
 		{Analyzer: MapOrder, pkgSuffixes: criticalPackages},
@@ -80,13 +103,19 @@ func DefaultSuite() []ScopedAnalyzer {
 		{Analyzer: SeededRand, pkgSuffixes: seededRandPackages},
 		{Analyzer: SortDet, pkgSuffixes: criticalPackages},
 		{Analyzer: HotAlloc, pkgSuffixes: hotAllocPackages},
+		{Analyzer: SeedFlow, pkgSuffixes: seededRandPackages},
+		{Analyzer: GuardParity, pkgSuffixes: guardLayerPackages},
+		{Analyzer: SelectDet, pkgSuffixes: criticalPackages},
+		{Analyzer: GoroLeak, pkgSuffixes: goroutinePackages},
+		{Analyzer: ErrDet, pkgSuffixes: criticalPackages},
 	}
 }
 
 // RunSuite executes every applicable analyzer of the suite over the loaded
 // packages and returns the findings sorted by position — including the
 // directive hygiene checks (unknown names, missing justifications, stale
-// suppressions).
+// suppressions). Per-package analyzers run one pass per in-scope package;
+// module analyzers run once over a Module index of everything loaded.
 func RunSuite(suite []ScopedAnalyzer, pkgs []*Package) []Diagnostic {
 	var analyzers []*Analyzer
 	for _, s := range suite {
@@ -94,26 +123,62 @@ func RunSuite(suite []ScopedAnalyzer, pkgs []*Package) []Diagnostic {
 	}
 
 	var diags []Diagnostic
+	usedByPkg := map[*Package]map[string]bool{}
+	ranDirectivesByPkg := map[*Package]map[string][]ScopedAnalyzer{}
 	for _, pkg := range pkgs {
-		used := map[string]bool{}
-		ranDirectives := map[string][]ScopedAnalyzer{}
+		usedByPkg[pkg] = map[string]bool{}
+		ranDirectivesByPkg[pkg] = map[string][]ScopedAnalyzer{}
+	}
+
+	// Per-package passes.
+	for _, pkg := range pkgs {
 		for _, s := range suite {
-			if !s.AppliesTo(pkg.PkgPath) {
+			if s.Analyzer.Run == nil || !s.AppliesTo(pkg.PkgPath) {
 				continue
 			}
-			ranDirectives[s.Analyzer.Directive] = append(ranDirectives[s.Analyzer.Directive], s)
+			ranDirectivesByPkg[pkg][s.Analyzer.Directive] = append(ranDirectivesByPkg[pkg][s.Analyzer.Directive], s)
 			pass := &Pass{
 				Analyzer:   s.Analyzer,
 				Pkg:        pkg,
 				allowFiles: s.allowFiles,
 				diags:      &diags,
-				used:       used,
+				used:       usedByPkg[pkg],
 			}
 			s.Analyzer.Run(pass)
 		}
-		diags = append(diags, checkDirectives(pkg, analyzers, used,
+	}
+
+	// Module passes.
+	var module *Module
+	for _, s := range suite {
+		if s.Analyzer.RunModule == nil {
+			continue
+		}
+		if module == nil {
+			module = NewModule(pkgs)
+		}
+		for _, pkg := range pkgs {
+			if s.Analyzer.Directive != "" && s.AppliesTo(pkg.PkgPath) {
+				ranDirectivesByPkg[pkg][s.Analyzer.Directive] = append(ranDirectivesByPkg[pkg][s.Analyzer.Directive], s)
+			}
+		}
+		mp := &ModulePass{
+			Analyzer:   s.Analyzer,
+			Module:     module,
+			scope:      s,
+			diags:      &diags,
+			usedByPkg:  usedByPkg,
+			reportedAt: map[string]bool{},
+		}
+		s.Analyzer.RunModule(mp)
+	}
+
+	// Directive hygiene, with every pass's consultations merged.
+	for _, pkg := range pkgs {
+		ran := ranDirectivesByPkg[pkg]
+		diags = append(diags, checkDirectives(pkg, analyzers, usedByPkg[pkg],
 			func(directiveName, filename string) bool {
-				for _, s := range ranDirectives[directiveName] {
+				for _, s := range ran[directiveName] {
 					if !s.Allowed(filename) {
 						return true
 					}

@@ -1,0 +1,55 @@
+// Package errdet is the errdet analyzer fixture: fmt.Errorf calls whose
+// output would differ across identically-seeded runs (heap addresses, map
+// formatting) or flatten sentinel identity (%v on an error) fire; stable
+// formats and %w wrapping stay silent.
+package errdet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad stands in for a layer sentinel.
+var ErrBad = errors.New("bad")
+
+// PointerVerb formats a heap address into a would-be Result.Error.
+func PointerVerb(p *int) error {
+	return fmt.Errorf("at %p", p) // want `%p formats a heap address into an error string`
+}
+
+// MapFormat formats a whole map into the message.
+func MapFormat(m map[string]int) error {
+	return fmt.Errorf("state: %v", m) // want `formatting a map into an error string`
+}
+
+// FlattenedSentinel loses errors.Is identity.
+func FlattenedSentinel(err error) error {
+	return fmt.Errorf("round 3: %v", err) // want `error-typed argument flattened with %v: wrap with %w`
+}
+
+// FlattenedString is the %s spelling of the same bug.
+func FlattenedString() error {
+	return fmt.Errorf("round 3: %s", ErrBad) // want `error-typed argument flattened with %s: wrap with %w`
+}
+
+// Wrapped preserves the sentinel.
+func Wrapped(err error) error {
+	return fmt.Errorf("round 3: %w", err)
+}
+
+// StableFormat interpolates deterministic values only.
+func StableFormat(worker int, rate float64) error {
+	return fmt.Errorf("worker %d rate %v exceeds quorum", worker, rate)
+}
+
+// WidthStar checks the verb parser's argument accounting: the star consumes
+// a slot, so err still lands on %w.
+func WidthStar(n int, err error) error {
+	return fmt.Errorf("pad %*d: %w", n, 0, err)
+}
+
+// Justified documents a reviewed exception.
+func Justified(m map[string]int) error {
+	//aggrevet:errfmt fixture: the map has exactly one key by construction
+	return fmt.Errorf("state: %v", m)
+}

@@ -1,0 +1,97 @@
+// Package goroleak is the goroleak analyzer fixture: goroutines with no
+// visible join fire; WaitGroup membership, shutdown observation (ctx.Done
+// or a package-closed channel) and spawner-awaited completion closes stay
+// silent.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// inbox is closed by Stop — the package's shutdown protocol.
+var inbox = make(chan int)
+
+// Stop terminates every goroutine draining inbox.
+func Stop() { close(inbox) }
+
+// WaitGroupJoined is the canonical Add/Done pairing.
+func WaitGroupJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// CtxJoined observes ctx.Done in its loop.
+func CtxJoined(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// RangeJoined ranges over the package-closed inbox: Stop terminates it.
+func RangeJoined() {
+	go func() {
+		for v := range inbox {
+			_ = v
+		}
+	}()
+}
+
+// pump drains the package-closed inbox.
+func pump() {
+	for v := range inbox {
+		_ = v
+	}
+}
+
+// DirectCallJoined spawns a named same-package function whose body joins.
+func DirectCallJoined() {
+	go pump()
+}
+
+// CompletionJoined blocks until the goroutine closes its completion channel.
+func CompletionJoined() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// Leaks drains a channel nobody closes: no join, no shutdown.
+func Leaks(work chan int) {
+	go func() { // want `goroutine has no visible join`
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// LeakySender blocks forever if nobody receives.
+func LeakySender(out chan int) {
+	go func() { // want `goroutine has no visible join`
+		out <- 1
+	}()
+}
+
+// Indirect spawns a callee whose body the analyzer cannot see.
+func Indirect(f func()) {
+	go f() // want `goroutine runs an indirect callee`
+}
+
+// JustifiedSingleton documents a process-lifetime goroutine.
+func JustifiedSingleton() {
+	//aggrevet:goro fixture: process-lifetime singleton reaped at exit
+	go func() {
+		select {}
+	}()
+}

@@ -1,0 +1,28 @@
+// Package cluster is the fixture layer that enforces both guards: it can
+// express every axis and references both sentinels.
+package cluster
+
+import (
+	"fmt"
+
+	ps "aggregathor/internal/analysis/testdata/src/guardparity/ps"
+)
+
+// Config mirrors the ps axis surface.
+type Config struct {
+	Churn    ps.ChurnConfig
+	Async    ps.AsyncConfig
+	SlowRate float64
+	Informed bool
+}
+
+// Validate enforces churn × async and informed × slow.
+func Validate(cfg Config) error {
+	if cfg.Churn.Rate > 0 && cfg.Async.Quorum > 0 {
+		return fmt.Errorf("cluster: %w", ps.ErrChurnAsync)
+	}
+	if cfg.Informed && cfg.SlowRate > 0 {
+		return fmt.Errorf("cluster: %w", ps.ErrInformedSlow)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+// Package core is the fixture's parity hole: it can express churn and async
+// (both markers appear) but never references ps.ErrChurnAsync, and the
+// golden does not declare the hole — guardparity must object.
+package core
+
+import (
+	ps "aggregathor/internal/analysis/testdata/src/guardparity/ps"
+)
+
+// Config exposes the churn and async axes without the informed/slow pair.
+type Config struct {
+	Churn ps.ChurnConfig
+	Async ps.AsyncConfig
+}
+
+// Validate checks nothing cross-axis — the hole under test.
+func Validate(cfg Config) error {
+	return nil
+}

@@ -1,0 +1,36 @@
+// Package ps is the innermost layer of the guardparity fixture: it declares
+// the axis config types (the markers the analyzer keys layer capability on)
+// and the guard sentinels, and enforces the informed × slow guard itself.
+package ps
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Guard sentinels: names camel-parse into axis pairs.
+var (
+	ErrChurnAsync   = errors.New("churn x async")
+	ErrInformedSlow = errors.New("informed x slow")
+)
+
+// ChurnConfig / AsyncConfig are the axis markers for churn and async.
+type ChurnConfig struct{ Rate float64 }
+type AsyncConfig struct{ Quorum int }
+
+// Config mentions the informed and slow markers too.
+type Config struct {
+	Churn    ChurnConfig
+	Async    AsyncConfig
+	SlowRate float64
+	Informed bool
+}
+
+// Validate enforces informed × slow at this layer; churn × async is
+// delegated to the outer layers (the fixture golden declares "!ps").
+func Validate(cfg Config) error {
+	if cfg.Informed && cfg.SlowRate > 0 {
+		return fmt.Errorf("ps: %w", ErrInformedSlow)
+	}
+	return nil
+}

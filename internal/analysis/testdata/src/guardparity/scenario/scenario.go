@@ -1,0 +1,24 @@
+// Package scenario is the fixture's drift case: it enforces churn × async,
+// but the golden row does not list the scenario layer yet — guardparity
+// must demand a regeneration.
+package scenario
+
+import (
+	"fmt"
+
+	ps "aggregathor/internal/analysis/testdata/src/guardparity/ps"
+)
+
+// Spec exposes the churn and async axes.
+type Spec struct {
+	Churn ps.ChurnConfig
+	Async ps.AsyncConfig
+}
+
+// Validate enforces churn × async at the spec level.
+func (s Spec) Validate() error {
+	if s.Churn.Rate > 0 && s.Async.Quorum > 0 {
+		return fmt.Errorf("scenario: %w", ps.ErrChurnAsync)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+// Package seedflow is the seedflow analyzer fixture: values reaching a
+// seed-demanding slot (rand source constructors, seed-named parameters, and
+// parameters that demand transitively through the interprocedural fixpoint)
+// must trace back to the run seed; literals and wall-clock reads fire.
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+)
+
+// SamplerSeed stands in for the ps.*Seed helper family.
+func SamplerSeed(runSeed int64, worker int) int64 {
+	return runSeed*31 + int64(worker)
+}
+
+// newStream's parameter is demanded by name; the obligation sits with its
+// callers.
+func newStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// mix's parameter is NOT seed-named: it becomes demanded only through the
+// backward fixpoint, because entropy flows into rand.NewSource.
+func mix(entropy int64) *rand.Rand {
+	return rand.New(rand.NewSource(entropy))
+}
+
+// mixTwice pushes the demand one more hop up the call chain.
+func mixTwice(x int64) *rand.Rand {
+	return mix(x + 1)
+}
+
+// Good derives the stream from the run seed through the helper chain.
+func Good(runSeed int64, worker int) *rand.Rand {
+	return newStream(SamplerSeed(runSeed, worker))
+}
+
+// GoodLocals carries lineage through a chain of local assignments.
+func GoodLocals(runSeed int64) *rand.Rand {
+	base := runSeed + 1
+	derived := base * 31
+	return newStream(derived)
+}
+
+// GoodTwoHops satisfies the propagated demand two calls away from the rand
+// construction.
+func GoodTwoHops(runSeed int64) *rand.Rand {
+	return mixTwice(runSeed)
+}
+
+// BadLiteral bakes a constant into a name-demanded slot.
+func BadLiteral() *rand.Rand {
+	return newStream(42) // want `literal seed argument 0 of newStream bakes in a constant stream`
+}
+
+// BadTwoHops bakes a constant two hops from the rand construction — only
+// the interprocedural fixpoint can see this one.
+func BadTwoHops() *rand.Rand {
+	return mixTwice(1234) // want `literal seed argument 0 of mixTwice bakes in a constant stream`
+}
+
+// BadClock seeds from the wall clock, the canonical irreproducible seed.
+func BadClock() *rand.Rand {
+	return newStream(time.Now().UnixNano()) // want `wall-clock-derived seed argument 0 of newStream has no lineage to the run seed`
+}
+
+// nodeID is stable per host but ties the stream to nothing reproducible.
+func nodeID() int64 { return 12345 }
+
+// BadDirect hands the rand constructor a value with no seed lineage. (An
+// argument mentioning one of the enclosing function's parameters would
+// instead push the obligation to the callers — see mix/mixTwice.)
+func BadDirect() *rand.Rand {
+	return rand.New(rand.NewSource(nodeID())) // want `seed argument 0 of rand.NewSource has no lineage to the run seed`
+}
+
+// Justified is intentional and carries the audit directive.
+func Justified() *rand.Rand {
+	//aggrevet:lineage fixture: the constant stream is intentional here
+	return newStream(7)
+}

@@ -1,0 +1,56 @@
+// Package selectdet is the selectdet analyzer fixture: selects with two or
+// more receive cases fire (the runtime picks uniformly at random when both
+// are ready); receive+default polls, receive+send pairs and justified
+// selects stay silent.
+package selectdet
+
+// TwoReceives races two receives — a scheduler coin-flip when both ready.
+func TwoReceives(a, b chan int) int {
+	select { // want `select has 2 receive cases`
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// ThreeReceives counts every receive arm.
+func ThreeReceives(a, b chan int, stop chan struct{}) int {
+	select { // want `select has 3 receive cases`
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	case <-stop:
+		return 0
+	}
+}
+
+// ReceiveDefault is a poll: resolution is determined by channel state.
+func ReceiveDefault(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+}
+
+// ReceiveSend pairs one receive with one send — one receive case only.
+func ReceiveSend(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case b <- 1:
+		return 0
+	}
+}
+
+// Justified carries the result-invariance argument in place.
+func Justified(a, b chan struct{}) {
+	//aggrevet:select fixture: both arms are idempotent wakeups, order is unobservable
+	select {
+	case <-a:
+	case <-b:
+	}
+}

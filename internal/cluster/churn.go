@@ -63,6 +63,7 @@ func dialUDPWithBackoff(addr string, codec transport.Codec, mtu int) (*transport
 	for attempt := 1; attempt <= reconnectMaxAttempts; attempt++ {
 		// Gradient loss is injected by the shared schedule, not the
 		// sender's own rng: drop rate 0, as on the Start dial path.
+		//aggrevet:lineage drop rate 0: the sender's rng is never drawn, loss comes from the shared seeded schedule
 		send, err := transport.DialUDP(addr, codec, mtu, 0, 0)
 		if err == nil {
 			return send, attempt, nil
@@ -120,8 +121,8 @@ func rejectInformedWithChurn(byzantine map[int]string, churn ps.ChurnConfig) err
 			continue // reported by the caller's own attack validation
 		}
 		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
-			return fmt.Errorf("cluster: attack %q on worker %d requires recomputing honest gradients, incompatible with a churn schedule (rate %v): the shared-seed oracle cannot track membership",
-				name, id, churn.Rate)
+			return fmt.Errorf("cluster: attack %q on worker %d (churn rate %v): %w",
+				name, id, churn.Rate, ps.ErrInformedChurn)
 		}
 	}
 	return nil

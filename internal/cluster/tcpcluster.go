@@ -246,6 +246,7 @@ func (c *TCPCluster) Start() error {
 		err  error
 	}
 	acceptCh := make(chan acceptResult, c.cfg.Workers)
+	//aggrevet:goro exits after n accepts or the first error; abortStart closes the listener to unblock a pending Accept
 	go func() {
 		for i := 0; i < c.cfg.Workers; i++ {
 			conn, err := ln.Accept()
@@ -257,6 +258,7 @@ func (c *TCPCluster) Start() error {
 	}()
 	c.conns = make([]*transport.TCPConn, 0, c.cfg.Workers)
 	for len(c.conns) < c.cfg.Workers {
+		//aggrevet:select startup-only race: a ready workerErrs means the run is already doomed, and either order reaches the same abort
 		select {
 		case r := <-acceptCh:
 			if r.err != nil {
@@ -438,6 +440,7 @@ func (c *TCPCluster) Step() (*ps.StepResult, error) {
 	timer := newRoundTimer(c.cfg.RoundTimeout)
 	defer timer.Stop()
 	for outstanding() > 0 {
+		//aggrevet:select a ready timer means a missed deadline that aborts the round loudly; healthy gathers never race it
 		select {
 		case ev := <-c.inbox:
 			if ev.err != nil {
@@ -605,6 +608,7 @@ func (c *TCPCluster) admitRejoins() error {
 	timer := newRoundTimer(c.cfg.RoundTimeout)
 	defer timer.Stop()
 	for c.membership.PendingRejoins() > 0 {
+		//aggrevet:select a ready timer means a missed rejoin deadline that aborts the round loudly; healthy rejoins never race it
 		select {
 		case rj := <-c.rejoinCh:
 			if rj.hello.Step > c.step {
@@ -665,6 +669,7 @@ func (c *TCPCluster) recoupSlot(id int) tensor.Vector {
 // failing worker goroutine reports its error just after closing its
 // connection, so wait briefly for it before falling back to the read error.
 func (c *TCPCluster) workerFailure(readErr error) error {
+	//aggrevet:select error-path only: the run already failed, the window merely improves root-cause attribution
 	select {
 	case err := <-c.workerErrs:
 		return err
@@ -714,6 +719,7 @@ func (c *TCPCluster) Close() error {
 		close(done)
 	}()
 	for drained := false; !drained; {
+		//aggrevet:select shutdown drain: received events are discarded, so resolution order cannot reach results
 		select {
 		case <-c.inbox:
 		case <-done:

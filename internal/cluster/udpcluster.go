@@ -269,7 +269,7 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 		// round or train on a stale model, so an informed attack would
 		// silently forge from wrong oracles. Reject the combination.
 		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() && cfg.ModelDropRate > 0 {
-			return nil, fmt.Errorf("cluster: informed attack %q requires exact honest-gradient oracles, which lossy model broadcasts (ModelDropRate %v) cannot provide", name, cfg.ModelDropRate)
+			return nil, fmt.Errorf("cluster: informed attack %q (ModelDropRate %v): %w", name, cfg.ModelDropRate, ps.ErrInformedModelLoss)
 		}
 	}
 	for _, id := range sortedIDs(cfg.Unresponsive) {
@@ -284,7 +284,7 @@ func NewUDPCluster(cfg UDPClusterConfig) (*UDPCluster, error) {
 		return nil, err
 	}
 	if cfg.Async.Enabled() && cfg.ModelDropRate > 0 {
-		return nil, fmt.Errorf("cluster: asynchronous rounds need a loss-free model channel, got ModelDropRate %v (the slow schedule, not torn broadcasts, decides staleness)", cfg.ModelDropRate)
+		return nil, fmt.Errorf("cluster: %w (ModelDropRate %v)", ps.ErrAsyncModelLoss, cfg.ModelDropRate)
 	}
 	if err := cfg.Churn.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
@@ -411,6 +411,7 @@ func (c *UDPCluster) Start() error {
 		// worker's model endpoint can bind the same interface the kernel
 		// routes toward the server — the old hardcoded "127.0.0.1:0" bind
 		// silently confined the backend to one host.
+		//aggrevet:lineage drop rate 0: the sender's rng is never drawn, loss comes from the shared seeded schedule
 		gsend, err := transport.DialUDP(recv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
 		if err != nil {
 			c.abortStart()
@@ -426,6 +427,7 @@ func (c *UDPCluster) Start() error {
 			}
 			bindHost = host
 		}
+		//aggrevet:lineage drop rate 0: the receiver's rng is never drawn, loss comes from the shared seeded schedule
 		mrecv, err := transport.ListenUDP(net.JoinHostPort(bindHost, "0"), c.cfg.Codec, transport.DropGradient, 0)
 		if err != nil {
 			c.abortStart()
@@ -435,6 +437,7 @@ func (c *UDPCluster) Start() error {
 		c.modelRecvs = append(c.modelRecvs, mrecv)
 		// Model loss is injected by the shared modelDropSchedule, not the
 		// sender's own rng: drop rate 0 on the sender.
+		//aggrevet:lineage drop rate 0: the sender's rng is never drawn, model loss comes from the shared seeded schedule
 		msend, err := transport.DialUDP(mrecv.Addr(), c.cfg.Codec, c.cfg.MTU, 0, 0)
 		if err != nil {
 			c.abortStart()

@@ -159,8 +159,8 @@ func rejectInformedWithSlow(byzantine map[int]string, async ps.AsyncConfig) erro
 			continue // reported by the caller's own attack validation
 		}
 		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
-			return fmt.Errorf("cluster: attack %q on worker %d requires recomputing honest gradients, incompatible with a slow-worker schedule (slowRate %v)",
-				name, id, async.SlowRate)
+			return fmt.Errorf("cluster: attack %q on worker %d (slowRate %v): %w",
+				name, id, async.SlowRate, ps.ErrInformedSlow)
 		}
 	}
 	return nil

@@ -428,7 +428,7 @@ func Run(cfg Config) (*Result, error) {
 	// must not compose: an unfillable slot has to mean exactly one thing.
 	if cfg.asyncConfig().Enabled() {
 		if cfg.ModelDropRate != 0 || cfg.ModelRecoup != cluster.ModelRecoupSkip {
-			return nil, errors.New("core: asynchronous rounds (Quorum/Staleness/SlowWorkers) are incompatible with lossy model broadcasts (ModelDropRate/ModelRecoup)")
+			return nil, fmt.Errorf("core: %w (Quorum/Staleness/SlowWorkers with ModelDropRate/ModelRecoup)", ps.ErrAsyncModelLoss)
 		}
 		if cfg.Aggregator == "draco" || cfg.ServerReplicas > 1 {
 			return nil, errors.New("core: asynchronous rounds are not supported on the draco or replicated deployments")

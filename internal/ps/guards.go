@@ -1,0 +1,33 @@
+package ps
+
+import "errors"
+
+// Named cross-axis incompatibilities, wrapped with layer context by every
+// config layer that can express both axes (see ErrChurnAsync and
+// ErrChurnModelLoss in churn.go for the churn pair). Each sentinel is one
+// row of the guard-parity matrix (internal/analysis/guard_matrix.txt): the
+// guardparity analyzer finds the layers referencing it and diagnoses any
+// layer that could compose the axes but does not reject them, so a guard
+// hand-replicated across layers can no longer silently fall out of sync.
+var (
+	// ErrAsyncModelLoss rejects combining asynchronous quorum rounds with
+	// lossy model broadcasts: they are two distinct staleness regimes — the
+	// slow schedule vs torn broadcasts — and an unfillable slot has to mean
+	// exactly one thing.
+	ErrAsyncModelLoss = errors.New("asynchronous quorum rounds are incompatible with lossy model broadcasts: the slow schedule, not torn broadcasts, decides staleness")
+	// ErrInformedSlow rejects combining an informed attack with the slow
+	// schedule: the attack recomputes the honest workers' gradients from
+	// the broadcast model, which assumes every peer trained fresh, and a
+	// slow-worker schedule breaks that oracle.
+	ErrInformedSlow = errors.New("informed attacks are incompatible with a slow-worker schedule: the honest-gradient oracle assumes every peer trained fresh")
+	// ErrInformedChurn rejects combining an informed attack with the churn
+	// schedule: the shared-seed oracle assumes every honest worker samples
+	// once per round, and it cannot track membership while crashed workers'
+	// sampler streams pause.
+	ErrInformedChurn = errors.New("informed attacks are incompatible with a churn schedule: the shared-seed oracle cannot track membership")
+	// ErrInformedModelLoss rejects combining an informed attack with lossy
+	// model broadcasts: each honest worker then follows its own downlink
+	// schedule and may train on a stale model, so the attack would silently
+	// forge from wrong oracles.
+	ErrInformedModelLoss = errors.New("informed attacks are incompatible with lossy model broadcasts: exact honest-gradient oracles need every peer on the broadcast model")
+)

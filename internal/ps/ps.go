@@ -188,8 +188,8 @@ func New(cfg Config) (*Cluster, error) {
 		// (mirroring the informed × lossy-model-broadcast rule).
 		for i, w := range cfg.Workers {
 			if inf, ok := w.Attack.(attack.Informed); ok && inf.RequiresHonest() {
-				return nil, fmt.Errorf("ps: attack %q on worker %d requires recomputing honest gradients, incompatible with a slow-worker schedule (SlowRate %v)",
-					w.Attack.Name(), i, cfg.Async.SlowRate)
+				return nil, fmt.Errorf("ps: attack %q on worker %d (SlowRate %v): %w",
+					w.Attack.Name(), i, cfg.Async.SlowRate, ErrInformedSlow)
 			}
 		}
 	}

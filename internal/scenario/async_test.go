@@ -119,7 +119,9 @@ func TestAsyncCampaignJSONDeterministic(t *testing.T) {
 // broadcasts.
 func TestNetworkValidationAsync(t *testing.T) {
 	base := func(n Network) *Spec {
-		s := Spec{Networks: []Network{n}}
+		// Blind attacks only: sweeping the informed family against a slow
+		// schedule is itself a validation error (informed_test.go).
+		s := Spec{Networks: []Network{n}, Attacks: []string{AttackNone, "reversed"}}
 		s.ApplyDefaults()
 		return &s
 	}

@@ -125,7 +125,9 @@ func TestModelLossCampaignJSONDeterministic(t *testing.T) {
 // recoup names parse strictly.
 func TestNetworkValidationModelLoss(t *testing.T) {
 	base := func(n Network) *Spec {
-		s := Spec{Networks: []Network{n}}
+		// Blind attacks only: sweeping the informed family against a lossy
+		// model channel is itself a validation error (informed_test.go).
+		s := Spec{Networks: []Network{n}, Attacks: []string{AttackNone, "reversed"}}
 		s.ApplyDefaults()
 		return &s
 	}

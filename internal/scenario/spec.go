@@ -314,7 +314,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: network %q sets slowWorkers without staleness >= 1 (a slow worker lags at least one step)", n.Name)
 		}
 		if n.asyncEnabled() && (n.ModelDropRate != 0 || n.ModelRecoup != "") {
-			return fmt.Errorf("scenario: network %q combines asynchronous rounds (quorum/staleness/slowWorkers) with lossy model broadcasts (modelDropRate/modelRecoup)", n.Name)
+			return fmt.Errorf("scenario: network %q: %w (quorum/staleness/slowWorkers with modelDropRate/modelRecoup)", n.Name, ps.ErrAsyncModelLoss)
 		}
 		if err := n.churnConfig().Validate(); err != nil {
 			return fmt.Errorf("scenario: network %q: %w", n.Name, err)
@@ -352,27 +352,24 @@ func (s *Spec) Validate() error {
 		}
 	}
 	// An informed attack recomputes the honest workers' gradients from the
-	// run seed assuming every peer samples once per round; a churn schedule
-	// breaks that oracle (a crashed worker's sampler stream pauses while it
-	// is down). The cluster constructors re-check per cell — rejecting the
-	// sweep combination here fails the campaign before any cell runs.
-	for _, n := range s.Networks {
-		if !n.churnEnabled() {
-			continue
-		}
-		for _, a := range s.Attacks {
-			if a == AttackNone {
-				continue
-			}
-			atk, err := attack.New(a)
-			if err != nil {
-				continue // unknown names were rejected above
-			}
-			if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
-				return fmt.Errorf("scenario: attack %q requires recomputing honest gradients, incompatible with churn network %q: the shared-seed oracle cannot track membership", a, n.Name)
+	// run seed assuming every peer samples once per round on the broadcast
+	// model. Three regimes break that oracle — churn (a crashed worker's
+	// sampler stream pauses), the slow schedule (peers train stale) and
+	// lossy model broadcasts (peers follow their own downlink schedule).
+	// The ps and cluster constructors re-check per cell — rejecting the
+	// sweep combination here fails the campaign before any cell runs,
+	// instead of scattering the same failure across every Result.Error row.
+	if a, ok := s.informedAttack(); ok {
+		for _, n := range s.Networks {
+			switch {
+			case n.churnEnabled():
+				return fmt.Errorf("scenario: attack %q on churn network %q: %w", a, n.Name, ps.ErrInformedChurn)
+			case n.SlowWorkers > 0:
+				return fmt.Errorf("scenario: attack %q on slow-schedule network %q: %w", a, n.Name, ps.ErrInformedSlow)
+			case n.ModelDropRate != 0 || n.ModelRecoup != "":
+				return fmt.Errorf("scenario: attack %q on lossy-model network %q: %w", a, n.Name, ps.ErrInformedModelLoss)
 			}
 		}
-		break
 	}
 	if _, err := opt.New(s.Optimizer, opt.Fixed{Rate: s.LR}); err != nil {
 		return fmt.Errorf("scenario: %w", err)
@@ -389,6 +386,25 @@ func (s *Spec) Validate() error {
 
 // Expand enumerates the campaign cross-product in deterministic order:
 // GAR (outermost) → attack → cluster → network → seed.
+// informedAttack returns the first swept attack that recomputes honest
+// gradients (an attack.Informed with RequiresHonest), if any. Unknown
+// attack names are skipped: Validate rejected them earlier.
+func (s *Spec) informedAttack() (string, bool) {
+	for _, a := range s.Attacks {
+		if a == AttackNone {
+			continue
+		}
+		atk, err := attack.New(a)
+		if err != nil {
+			continue
+		}
+		if inf, ok := atk.(attack.Informed); ok && inf.RequiresHonest() {
+			return a, true
+		}
+	}
+	return "", false
+}
+
 func (s *Spec) Expand() []Run {
 	runs := make([]Run, 0, len(s.GARs)*len(s.Attacks)*len(s.Clusters)*len(s.Networks)*len(s.Seeds))
 	for _, g := range s.GARs {
